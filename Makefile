@@ -1,0 +1,32 @@
+# Convenience targets for the prime-indexing reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench eval report examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Full-scale regeneration of every paper table and figure (~minutes).
+eval:
+	$(PYTHON) examples/paper_evaluation.py --scale 1.0
+
+# Machine-generated markdown report (reduced scale for quick turnaround).
+report:
+	$(PYTHON) -m repro.reporting.report --scale 0.5 > report.md
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,41 @@
+"""Ablation: indexing scheme x associativity design space.
+
+Quantifies the paper's Section 5.2 argument from the other side:
+"increasing cache associativity without increasing the cache size is
+not an effective method to eliminate conflict misses" — while changing
+the indexing function at constant geometry is.
+"""
+
+from repro.experiments import design_space
+from repro.experiments.common import RunConfig
+
+from conftest import BENCH_SCALE
+
+
+def test_ablation_design_space(benchmark):
+    points = benchmark.pedantic(
+        design_space.run,
+        args=("tree", RunConfig(scale=BENCH_SCALE)),
+        kwargs=dict(associativities=(1, 2, 4, 8)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(design_space.render("tree", points))
+    by_key = {(p.indexing, p.assoc): p for p in points}
+    # A better index at 1 way beats the traditional index at 8 ways.
+    assert by_key[("pmod", 1)].l2_misses < \
+        by_key[("traditional", 8)].l2_misses
+    # More ways barely help the traditional index on tree.
+    assert by_key[("traditional", 8)].l2_misses > \
+        by_key[("traditional", 4)].l2_misses * 0.85
+    # pMod and pDisp track each other once there is any associativity
+    # to absorb near-collisions.  Direct-mapped is the exception: with
+    # 8192 physical sets pMod's modulus is the Mersenne prime 8191, and
+    # tree's page-aligned nodes sit at 64-block multiples — since
+    # 64 * 128 = 8192 ≡ 1 (mod 8191), pages 128 apart land one set
+    # apart and adjacent hot lines collide, which only ≥2 ways hide.
+    for assoc in (2, 4, 8):
+        ratio = (by_key[("pdisp", assoc)].l2_misses
+                 / max(1, by_key[("pmod", assoc)].l2_misses))
+        assert 0.8 < ratio < 1.25
+    assert by_key[("pmod", 1)].l2_misses > by_key[("pdisp", 1)].l2_misses

@@ -1,0 +1,62 @@
+"""Ablation: hardware cost and throughput of the prime-modulo units.
+
+Measures (a) the Python-model throughput of the polynomial and
+iterative-linear units (a proxy for their relative complexity), (b)
+Theorem 1's iteration counts across machine widths and selector sizes,
+and (c) the adder-cost scaling the paper's Section 3.1 discussion
+predicts.
+"""
+
+import numpy as np
+
+from repro.hardware import (
+    IterativeLinearUnit,
+    PolynomialModUnit,
+    iterations_required,
+    prime_modulo_iterative_cost,
+    prime_modulo_polynomial_cost,
+)
+
+
+def compute_many(unit, addresses):
+    return [unit.compute(a) for a in addresses]
+
+
+def test_polynomial_unit_throughput(benchmark):
+    unit = PolynomialModUnit(2048, address_bits=32, block_bytes=64)
+    rng = np.random.default_rng(1)
+    addresses = [int(a) for a in rng.integers(0, 2**26, size=2000)]
+    results = benchmark(compute_many, unit, addresses)
+    assert results == [a % 2039 for a in addresses]
+
+
+def test_iterative_unit_throughput(benchmark):
+    unit = IterativeLinearUnit(2048, address_bits=32, block_bytes=64,
+                               selector_inputs=3)
+    rng = np.random.default_rng(2)
+    addresses = [int(a) for a in rng.integers(0, 2**26, size=2000)]
+    results = benchmark(compute_many, unit, addresses)
+    assert results == [a % 2039 for a in addresses]
+
+
+def test_theorem1_scaling(benchmark):
+    def sweep():
+        return {
+            (bits, sel): iterations_required(bits, 64, 2048,
+                                             selector_inputs=sel)
+            for bits in (32, 40, 48, 64)
+            for sel in (2, 3, 258)
+        }
+
+    table = benchmark(sweep)
+    print()
+    for (bits, sel), iters in sorted(table.items()):
+        print(f"  {bits}-bit, {sel:3d}-input selector: {iters} iterations")
+    assert table[(32, 3)] == 2    # paper's worked example
+    assert table[(64, 3)] == 6
+    assert table[(64, 258)] == 3
+    # Cost model consistency: wider machines need more adders.
+    assert (prime_modulo_polynomial_cost(2048, 64).adders
+            > prime_modulo_polynomial_cost(2048, 32).adders)
+    assert (prime_modulo_iterative_cost(2048, 64).adders
+            > prime_modulo_iterative_cost(2048, 32).adders)

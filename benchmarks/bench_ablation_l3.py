@@ -1,0 +1,24 @@
+"""Ablation: prime indexing at the last-level cache of a 3-level stack."""
+
+from repro.experiments import l3_hashing
+from repro.experiments.common import RunConfig
+
+from conftest import BENCH_SCALE
+
+
+def test_ablation_l3_hashing(benchmark):
+    rows = benchmark.pedantic(
+        l3_hashing.run,
+        kwargs=dict(workloads=("tree", "mcf", "lu"),
+                    config=RunConfig(scale=BENCH_SCALE)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(l3_hashing.render(rows))
+    by_key = {(r.workload, r.l3_indexing): r for r in rows}
+    # Offset-driven crowding overflows even 16 ways: pMod still pays.
+    assert by_key[("tree", "pmod")].l3_misses < \
+        by_key[("tree", "traditional")].l3_misses * 0.8
+    # Crowding within the associativity is already absorbed.
+    assert by_key[("mcf", "pmod")].l3_misses <= \
+        by_key[("mcf", "traditional")].l3_misses * 1.02

@@ -1,0 +1,26 @@
+"""Ablation: OS page-allocation policies vs the conflict structure.
+
+tree's offset-driven crowding survives every allocator; bt's
+pitch-driven columns need color preservation.
+"""
+
+from repro.experiments import page_allocation
+from repro.experiments.common import RunConfig
+
+from conftest import BENCH_SCALE
+
+
+def test_ablation_page_allocation(benchmark):
+    rows = benchmark.pedantic(
+        page_allocation.run,
+        kwargs=dict(workloads=("tree", "bt"),
+                    config=RunConfig(scale=BENCH_SCALE)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(page_allocation.render(rows))
+    by_key = {(r.workload, r.policy): r for r in rows}
+    for policy in ("sequential", "random", "colored"):
+        assert by_key[("tree", policy)].miss_ratio < 0.5, policy
+    assert by_key[("bt", "colored")].miss_ratio < 0.85
+    assert by_key[("bt", "random")].miss_ratio > 0.95

@@ -1,0 +1,25 @@
+"""Ablation: shared-L2 multiprogramming under the indexing schemes."""
+
+from repro.experiments import shared_cache
+from repro.experiments.common import RunConfig
+
+from conftest import BENCH_SCALE
+
+
+def test_ablation_shared_cache(benchmark):
+    rows = benchmark.pedantic(
+        shared_cache.run,
+        kwargs=dict(pairs=(("tree", "swim"), ("mcf", "lu")),
+                    config=RunConfig(scale=BENCH_SCALE),
+                    schemes=("base", "pmod", "pdisp")),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(shared_cache.render(rows))
+    by_key = {(r.pair, r.scheme): r for r in rows}
+    # The conflict victims keep their win while timesharing...
+    assert by_key[(("tree", "swim"), "pmod")].combined_misses < \
+        by_key[(("tree", "swim"), "base")].combined_misses * 0.8
+    # ...and no scheme amplifies cross-program interference wildly.
+    for r in rows:
+        assert r.interference_factor < 2.0, (r.pair, r.scheme)

@@ -1,0 +1,21 @@
+"""Figure 13 bench: per-set miss distribution for tree, Base vs pMod."""
+
+from repro.experiments import miss_distribution
+from repro.experiments.common import RunConfig
+
+from conftest import BENCH_SCALE
+
+
+def test_fig13_tree_miss_distribution(benchmark):
+    results = benchmark.pedantic(
+        miss_distribution.run,
+        args=(RunConfig(scale=BENCH_SCALE),),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(miss_distribution.render(results))
+    # Figure 13a: misses concentrated in ~10% of sets under Base.
+    assert results["base"].top_fraction_share(0.1) > 0.5
+    # Figure 13b: pMod flattens and shrinks the distribution.
+    assert results["pmod"].top_fraction_share(0.1) < 0.3
+    assert results["pmod"].total < results["base"].total

@@ -1,0 +1,24 @@
+"""Figure 5 bench: balance vs stride for the four hashing functions."""
+
+import numpy as np
+
+from repro.experiments import stride_sweep
+
+
+def test_fig5_balance(benchmark):
+    results = benchmark.pedantic(
+        stride_sweep.run,
+        kwargs=dict(max_stride=2047, n_addresses=4096, stride_step=2),
+        rounds=1, iterations=1,
+    )
+    print()
+    for name, sweep in results.items():
+        print(f"{name:12s} ideal balance on "
+              f"{sweep.ideal_balance_fraction():.1%} of strides; worst at "
+              f"{sweep.worst_balance_strides(3)}")
+    trad = results["Traditional"]
+    odd = trad.strides % 2 == 1
+    assert np.all(trad.balance[odd] <= 1.1)          # ideal on odd strides
+    assert results["pMod"].ideal_balance_fraction() > 0.999
+    assert results["pDisp"].ideal_balance_fraction() > 0.85
+    assert results["XOR"].ideal_balance_fraction() > 0.85

@@ -1,0 +1,28 @@
+"""Figure 6 bench: concentration vs stride for the four hashing functions."""
+
+import numpy as np
+
+from repro.experiments import stride_sweep
+
+
+def test_fig6_concentration(benchmark):
+    results = benchmark.pedantic(
+        stride_sweep.run,
+        kwargs=dict(max_stride=2047, n_addresses=4096, stride_step=4),
+        rounds=1, iterations=1,
+    )
+    print()
+    for name, sweep in results.items():
+        print(f"{name:12s} ideal concentration on "
+              f"{sweep.ideal_concentration_fraction():.1%} of strides "
+              f"(mean {sweep.concentration.mean():.1f})")
+    trad = results["Traditional"]
+    odd = trad.strides % 2 == 1
+    assert np.all(trad.concentration[odd] == 0.0)
+    # pMod: sequence invariant -> ideal concentration on (almost) all strides.
+    assert results["pMod"].ideal_concentration_fraction() > 0.99
+    # XOR never sequence invariant -> concentration rarely ideal.
+    assert results["XOR"].ideal_concentration_fraction() < 0.2
+    # pDisp sits between XOR and pMod (partial invariance).
+    assert (results["pDisp"].concentration.mean()
+            < results["XOR"].concentration.mean())

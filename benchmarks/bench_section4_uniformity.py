@@ -1,0 +1,28 @@
+"""Section 4 bench: the 7-of-23 non-uniform application classification."""
+
+from repro.experiments import uniformity_table
+from repro.experiments.common import RunConfig
+
+from conftest import BENCH_SCALE
+
+
+def test_section4_uniformity_classification(benchmark):
+    rows = benchmark.pedantic(
+        uniformity_table.run,
+        args=(RunConfig(scale=BENCH_SCALE),),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(uniformity_table.render(rows))
+    assert sum(r.non_uniform for r in rows) == 7
+    assert all(r.agrees_with_paper for r in rows)
+
+
+def test_section33_l1_example(benchmark):
+    """Section 3.3's L1 example: XOR's degenerate stride 15 on 16 sets."""
+    from repro.experiments import l1_hashing
+
+    rows = benchmark(l1_hashing.example_balance)
+    by_stride = {r.stride: r for r in rows}
+    assert by_stride[15].concentrations["xor"] > 20
+    assert by_stride[15].concentrations["pmod"] == 0.0

@@ -1,0 +1,14 @@
+"""Table 1 bench: prime modulo set fragmentation (pure number theory)."""
+
+from repro.experiments import fragmentation
+
+
+def test_table1_fragmentation(benchmark):
+    rows = benchmark(fragmentation.run)
+    print()
+    print(fragmentation.render(rows))
+    by_phys = {r.n_sets_physical: r for r in rows}
+    assert by_phys[2048].n_sets == 2039
+    assert by_phys[8192].n_sets == 8191
+    # Fragmentation falls below 1% from 512 sets on (paper's claim).
+    assert all(r.fragmentation < 0.01 for r in rows if r.n_sets_physical >= 512)

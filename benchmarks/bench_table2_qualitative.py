@@ -1,0 +1,19 @@
+"""Table 2 bench: empirical qualitative comparison of hashing functions."""
+
+from repro.experiments import qualitative
+
+
+def test_table2_qualitative(benchmark):
+    profiles = benchmark.pedantic(
+        qualitative.run,
+        kwargs=dict(n_sets_physical=2048, n_addresses=4096, stride_limit=128),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(qualitative.render(profiles))
+    by_name = {p.name: p for p in profiles}
+    assert by_name["Traditional"].ideal_balance_condition == "s odd"
+    assert by_name["pMod"].sequence_invariant
+    assert by_name["pDisp"].partially_invariant
+    assert not by_name["XOR"].sequence_invariant
+    assert by_name["Skewed"].replacement_restricted

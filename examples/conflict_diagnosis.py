@@ -1,0 +1,52 @@
+"""Diagnose *which data* is fighting over your cache sets.
+
+Uses the conflict-diagnosis tools on the tree workload: find the
+hottest sets under traditional indexing, name the blocks crowding them
+(arena-aligned tree cells), verify prime modulo disperses them, and
+check the skewed families' inter-bank dispersion.
+
+Run:  python examples/conflict_diagnosis.py
+"""
+
+from repro.hashing import (
+    PrimeModuloIndexing,
+    SkewedPrimeDisplacementFamily,
+    SkewedXorFamily,
+    TraditionalIndexing,
+    inter_bank_dispersion,
+    top_conflict_sets,
+)
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    trace = get_workload("tree").trace(scale=0.2, seed=0)
+    blocks = trace.block_addresses(64)
+
+    print("Hottest traditional L2 sets for the tree workload:")
+    for group in top_conflict_sets(TraditionalIndexing(2048), blocks, top=3,
+                                   max_blocks_listed=64):
+        sample = ", ".join(f"{b * 64:#x}" for b in group.blocks[:5])
+        print(f"  set {group.set_index:4d}: {group.accesses:6d} accesses, "
+              f"{group.pressure:3d} distinct lines (e.g. {sample}, ...)")
+    print("  -> addresses 4 KB apart: the arena-aligned tree cells.\n")
+
+    print("Same trace under prime modulo indexing:")
+    for group in top_conflict_sets(PrimeModuloIndexing(2048), blocks, top=3):
+        print(f"  set {group.set_index:4d}: {group.accesses:6d} accesses, "
+              f"{group.pressure:3d} distinct lines")
+    print("  -> pressure per set collapses to around the associativity.\n")
+
+    print("Inter-bank dispersion of the skewed families "
+          "(how often a bank-0 conflict persists elsewhere):")
+    for family in (SkewedXorFamily(2048, 4),
+                   SkewedPrimeDisplacementFamily(2048, 4)):
+        report = inter_bank_dispersion(family, n_samples=30000)
+        print(f"  {family.name:10s} {report.same_set_pair_rate:.3%} of "
+              f"{report.pairs_tested} colliding pairs")
+    print("  -> well under 5%: conflicting blocks almost always get a "
+          "second chance in another bank (Section 3.3).")
+
+
+if __name__ == "__main__":
+    main()

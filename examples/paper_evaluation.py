@@ -1,0 +1,70 @@
+"""Run the paper's full evaluation pipeline end to end (scaled down).
+
+Regenerates every table and figure at a reduced trace scale so the
+whole thing completes in a few minutes; pass ``--scale 1.0`` for the
+full-length traces used by EXPERIMENTS.md.
+
+Run:  python examples/paper_evaluation.py [--scale 0.25] [--seed 0]
+"""
+
+from repro.experiments import (
+    fragmentation,
+    machine,
+    miss_distribution,
+    miss_reduction,
+    multi_hash,
+    qualitative,
+    single_hash,
+    stride_sweep,
+    summary,
+)
+from repro.experiments.common import ResultStore, RunConfig, standard_argparser
+
+
+def main() -> None:
+    parser = standard_argparser(__doc__)
+    parser.set_defaults(scale=0.25)
+    parser.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="pre-simulate the grid with N worker processes")
+    args = parser.parse_args()
+    config = RunConfig(scale=args.scale, seed=args.seed)
+    if args.parallel:
+        from repro.cpu import SCHEMES
+        from repro.experiments.parallel import parallel_store
+        from repro.workloads import all_workload_names
+        print(f"Pre-simulating the 23x{len(SCHEMES)} grid with "
+              f"{args.parallel} workers...")
+        store = parallel_store(all_workload_names(), SCHEMES, config,
+                               max_workers=args.parallel)
+    else:
+        store = ResultStore(config)  # shared across all simulation figures
+
+    print(fragmentation.render(fragmentation.run()), "\n")
+    print(qualitative.render(qualitative.run()), "\n")
+    print(machine.render(), "\n")
+
+    print("Running stride sweeps (Figures 5-6)...")
+    # An odd step samples both parities (an even step would only ever
+    # hit odd strides and hide traditional indexing's failures).
+    print(stride_sweep.render(stride_sweep.run(stride_step=3)), "\n")
+
+    print(f"Simulating 23 workloads x 8 cache schemes "
+          f"(scale {config.scale}); this is the long part...")
+    fig7, fig8 = single_hash.run(config, store)
+    print(single_hash.render(fig7), "\n")
+    print(single_hash.render(fig8), "\n")
+
+    fig9, fig10 = multi_hash.run(config, store)
+    print(single_hash.render(fig9), "\n")
+    print(single_hash.render(fig10), "\n")
+
+    fig11, fig12 = miss_reduction.run(config, store)
+    print(miss_reduction.render(fig11), "\n")
+    print(miss_reduction.render(fig12), "\n")
+
+    print(miss_distribution.render(miss_distribution.run(config)), "\n")
+    print(summary.render(summary.run(config, store)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Skewed associative caches: when one hashing function is not enough.
+
+Reproduces Section 5.3's observation in miniature: an over-capacity
+cyclic working set defeats *every* single-hash LRU cache (LRU's worst
+case), but a skewed associative cache with pseudo-LRU replacement
+retains most of it — while the same imprecise replacement hurts a
+well-behaved resident working set (the pathological flip side).
+
+Run:  python examples/skewed_cache_demo.py
+"""
+
+from repro.cache import SetAssociativeCache, SkewedAssociativeCache
+from repro.hashing import (
+    PrimeModuloIndexing,
+    SkewedPrimeDisplacementFamily,
+    TraditionalIndexing,
+)
+from repro.workloads.patterns import cyclic_sweep, shuffled_cycles
+
+
+def build_caches():
+    n_sets, banks = 2048, 4
+    return {
+        "Base (LRU)": SetAssociativeCache(n_sets, 4, TraditionalIndexing(n_sets)),
+        "pMod (LRU)": SetAssociativeCache(n_sets, 4, PrimeModuloIndexing(n_sets)),
+        "skw+pDisp (ENRU)": SkewedAssociativeCache(
+            SkewedPrimeDisplacementFamily(n_sets, banks)
+        ),
+    }
+
+
+def drive(caches, addresses, label, warmup=None):
+    if warmup is not None:
+        for address in warmup:
+            for cache in caches.values():
+                cache.access(int(address) >> 6)
+    for cache in caches.values():
+        cache.stats.reset()
+    for address in addresses:
+        block = int(address) >> 6
+        for cache in caches.values():
+            cache.access(block)
+    print(f"\n{label}")
+    for name, cache in caches.items():
+        print(f"  {name:18s} miss rate {cache.stats.miss_rate:7.1%}")
+
+
+def main() -> None:
+    print("All caches: 512 KB (8192 blocks), 4 ways/banks.")
+
+    # Case 1: cyclic sweep of 9000 blocks (1.1x capacity): LRU evicts
+    # every block moments before its reuse; ENRU's imprecision saves it.
+    caches = build_caches()
+    sweep = cyclic_sweep(9000, repeats=6, permute_seed=7)
+    drive(caches, sweep, "Over-capacity cyclic sweep (9000 blocks x 6):")
+    print("  -> only the skewed cache escapes LRU's worst case "
+          "(cg/mst, Section 5.3)")
+
+    # Case 2: well-behaved resident working set: LRU keeps it perfectly,
+    # pseudo-LRU randomly evicts live lines.
+    caches = build_caches()
+    resident = shuffled_cycles(6144, count=60000, seed=11)
+    warmup = shuffled_cycles(6144, count=6144, seed=10)
+    drive(caches, resident,
+          "Resident working set (6144 blocks, reused, after warm-up):",
+          warmup=warmup)
+    print("  -> pseudo-LRU pays: the pathological behavior of skewed "
+          "caches on uniform apps (Figures 10/12)")
+
+
+if __name__ == "__main__":
+    main()

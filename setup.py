@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this exists so that
+``pip install -e . --no-use-pep517`` works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Reproduction of "Using Prime Numbers for Cache Indexing to Eliminate
+Conflict Misses" (Kharbutli, Irwin, Solihin, Lee — HPCA 2004).
+
+The package is organized around the paper's structure:
+
+* :mod:`repro.hashing` — the indexing functions and quality metrics
+  (the paper's contribution, Sections 2-3).
+* :mod:`repro.hardware` — bit-exact models of the fast shift/add
+  hardware that computes the prime modulo without division (Section 3.1).
+* :mod:`repro.cache`, :mod:`repro.memory`, :mod:`repro.cpu` — the
+  simulated memory hierarchy and timing model (Section 4, Table 3).
+* :mod:`repro.workloads` — synthetic stand-ins for the paper's 23
+  memory-intensive applications.
+* :mod:`repro.experiments` — one runnable module per paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,25 @@
+"""``python -m repro`` — list the reproducible tables and figures."""
+
+INDEX = """repro — 'Using Prime Numbers for Cache Indexing to Eliminate
+Conflict Misses' (HPCA 2004) reproduction.
+
+Experiments (each also has a bench under benchmarks/):
+
+  python -m repro.experiments.fragmentation       Table 1
+  python -m repro.experiments.qualitative         Table 2
+  python -m repro.experiments.machine             Table 3
+  python -m repro.experiments.summary             Table 4
+  python -m repro.experiments.stride_sweep        Figures 5-6
+  python -m repro.experiments.single_hash         Figures 7-8
+  python -m repro.experiments.multi_hash          Figures 9-10
+  python -m repro.experiments.miss_reduction      Figures 11-12
+  python -m repro.experiments.miss_distribution   Figure 13
+
+  python examples/paper_evaluation.py             everything above
+
+Simulation experiments accept --scale (trace length multiplier,
+default 1.0) and --seed.  See README.md and DESIGN.md for details.
+"""
+
+if __name__ == "__main__":
+    print(INDEX)

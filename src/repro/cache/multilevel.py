@@ -1,0 +1,98 @@
+"""Generalized N-level write-back cache hierarchy.
+
+:class:`~repro.cache.hierarchy.CacheHierarchy` models the paper's
+two-level system; this class chains any number of levels (e.g.
+L1+L2+L3) with per-level line sizes, so the indexing question can be
+asked at the last-level cache of a modern three-level hierarchy — the
+``l3_hashing`` experiment does exactly that.
+
+Semantics per level (all write-back, write-allocate):
+
+* a hit at level *i* services the access;
+* a miss allocates at level *i* and recurses to level *i+1*;
+* a dirty eviction at level *i* is written to level *i+1*
+  (write-allocating there), and a dirty eviction at the last level
+  surfaces as a memory write.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cache.hierarchy import HierarchyOutcome
+from repro.mathutil import log2_exact
+
+
+class MultiLevelHierarchy:
+    """A chain of caches with non-decreasing line sizes."""
+
+    def __init__(self, levels: Sequence[Tuple[object, int]]):
+        """``levels`` is a list of (cache, block_bytes), L1 first."""
+        if not levels:
+            raise ValueError("need at least one cache level")
+        self.caches = [cache for cache, _ in levels]
+        self.block_bytes = [block for _, block in levels]
+        self.offset_bits = [log2_exact(b) for b in self.block_bytes]
+        for smaller, larger in zip(self.block_bytes, self.block_bytes[1:]):
+            if larger < smaller:
+                raise ValueError(
+                    "line sizes must be non-decreasing toward memory"
+                )
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.caches)
+
+    def _fill(self, level: int, byte_address: int, is_write: bool,
+              outcome: HierarchyOutcome) -> str:
+        """Access ``level`` for ``byte_address``; recurse below on miss.
+
+        Returns the level name where the data was found.
+        """
+        cache = self.caches[level]
+        block = byte_address >> self.offset_bits[level]
+        result = cache.access(block, is_write)
+        serviced = f"l{level + 1}"
+        if result.writeback:
+            self._writeback(level + 1, result.victim_block, outcome)
+        if result.hit:
+            return serviced
+        if level + 1 == self.n_levels:
+            outcome.memory_reads.append(block)
+            return "mem"
+        return self._fill(level + 1, byte_address, False, outcome)
+
+    def _writeback(self, level: int, victim_block: int,
+                   outcome: HierarchyOutcome) -> None:
+        """Write a dirty level-(level-1) victim into ``level``."""
+        shift = self.offset_bits[level - 1]
+        byte_address = victim_block << shift
+        if level == self.n_levels:
+            outcome.memory_writes.append(
+                byte_address >> self.offset_bits[-1]
+            )
+            return
+        cache = self.caches[level]
+        block = byte_address >> self.offset_bits[level]
+        result = cache.access(block, is_write=True)
+        if result.writeback:
+            self._writeback(level + 1, result.victim_block, outcome)
+        if not result.hit:
+            # Write-allocate: the fill comes from further down.
+            if level + 1 == self.n_levels:
+                outcome.memory_reads.append(block)
+            else:
+                self._fill(level + 1, byte_address, False, outcome)
+
+    def access(self, byte_address: int, is_write: bool = False) -> HierarchyOutcome:
+        """One CPU access; returns where it was serviced plus DRAM traffic."""
+        if byte_address < 0:
+            raise ValueError("address must be non-negative")
+        outcome = HierarchyOutcome(level="")
+        outcome.level = self._fill(0, byte_address, is_write, outcome)
+        return outcome
+
+    def __repr__(self) -> str:
+        names = " -> ".join(getattr(c, "name", type(c).__name__)
+                            for c in self.caches)
+        return f"MultiLevelHierarchy({names})"

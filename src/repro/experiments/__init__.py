@@ -1,0 +1,30 @@
+"""One runnable module per paper table/figure.
+
+========================== ======================================
+module                      reproduces
+========================== ======================================
+``fragmentation``           Table 1 (prime modulo fragmentation)
+``qualitative``             Table 2 (hash-function properties)
+``machine``                 Table 3 (architecture parameters)
+``summary``                 Table 4 (speedup summary)
+``stride_sweep``            Figures 5-6 (balance/concentration)
+``single_hash``             Figures 7-8 (exec time, single hash)
+``multi_hash``              Figures 9-10 (exec time, multi hash)
+``miss_reduction``          Figures 11-12 (normalized misses)
+``miss_distribution``       Figure 13 (per-set misses, tree)
+``uniformity_table``        Section 4's 7-of-23 classification
+``l1_hashing``              Section 3.3's L1 example + hierarchy check
+``design_space``            indexing x associativity sweep (extension)
+``sensitivity``             L2 capacity sweep of the pMod gap (extension)
+``page_allocation``         OS page-allocation robustness (extension)
+``shared_cache``            multiprogrammed-L2 interference (extension)
+``seeds``                   seed-robustness of the headline results
+========================== ======================================
+
+Each module exposes ``run(...)``, ``render(result)`` and a ``main()``
+CLI (``python -m repro.experiments.<name> [--scale S] [--seed N]``).
+"""
+
+from repro.experiments.common import ResultStore, RunConfig
+
+__all__ = ["ResultStore", "RunConfig"]

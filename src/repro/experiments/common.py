@@ -1,0 +1,85 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+Every experiment module follows the same shape: a ``run(...)`` function
+returning a result dataclass, a ``render(result)`` returning the
+terminal report, and a ``main()`` so each figure/table can be
+regenerated with ``python -m repro.experiments.<name>``.
+
+:class:`ResultStore` caches per-(workload, scheme) simulation results
+so the execution-time figures, miss figures and the Table 4 summary —
+which all consume the same runs — only simulate each configuration
+once.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.cpu import ExecutionResult, simulate_scheme
+from repro.workloads import get_workload
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Knobs shared by all simulation-based experiments.
+
+    Attributes:
+        scale: trace-length multiplier (1.0 = ~120k accesses/app; tests
+            and benches use smaller values).
+        seed: RNG seed for the workload generators.
+        skew_replacement: pseudo-LRU used by the skewed caches
+            (``enru``, the paper's default, or ``nrunrw``).
+    """
+
+    scale: float = 1.0
+    seed: int = 0
+    skew_replacement: str = "enru"
+
+
+@dataclass
+class ResultStore:
+    """Memoizing runner for (workload, scheme) simulations."""
+
+    config: RunConfig = field(default_factory=RunConfig)
+    _results: Dict[Tuple[str, str], ExecutionResult] = field(
+        default_factory=dict, repr=False
+    )
+
+    def result(self, workload: str, scheme: str) -> ExecutionResult:
+        """Simulate (or return the cached run of) one configuration."""
+        key = (workload, scheme)
+        cached = self._results.get(key)
+        if cached is None:
+            trace = get_workload(workload).trace(
+                scale=self.config.scale, seed=self.config.seed
+            )
+            cached = simulate_scheme(
+                trace, scheme, skew_replacement=self.config.skew_replacement
+            )
+            self._results[key] = cached
+        return cached
+
+    def speedup(self, workload: str, scheme: str) -> float:
+        """Speedup of ``scheme`` over Base for one workload."""
+        return self.result(workload, scheme).speedup_over(
+            self.result(workload, "base")
+        )
+
+    def miss_ratio(self, workload: str, scheme: str) -> float:
+        """L2 misses normalized to Base for one workload."""
+        base = self.result(workload, "base").l2_misses
+        if base == 0:
+            return 1.0
+        return self.result(workload, scheme).l2_misses / base
+
+
+def standard_argparser(description: str) -> argparse.ArgumentParser:
+    """CLI shared by the experiment mains: --scale / --seed."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="trace-length multiplier (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload RNG seed (default 0)")
+    return parser

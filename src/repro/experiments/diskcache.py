@@ -1,0 +1,62 @@
+"""Disk-backed result caching for repeated experiment runs.
+
+Simulations are deterministic, so a (workload, scheme, scale, seed,
+skew-replacement, version) key fully determines an ExecutionResult.
+:class:`CachedResultStore` persists results as JSON under a cache
+directory; re-running a figure CLI after the first full-scale run costs
+milliseconds instead of minutes.
+
+The cache key includes the package version: calibration changes bump it
+and quietly invalidate stale entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+import repro
+from repro.cpu import ExecutionResult
+from repro.experiments.common import ResultStore, RunConfig
+
+
+class CachedResultStore(ResultStore):
+    """A ResultStore that persists every simulation result to disk."""
+
+    def __init__(self, config: RunConfig = RunConfig(),
+                 cache_dir: Union[str, os.PathLike] = ".repro-cache"):
+        super().__init__(config)
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.disk_hits = 0
+        self.disk_misses = 0
+
+    def _path(self, workload: str, scheme: str) -> Path:
+        config = self.config
+        key = (f"{workload}--{scheme}--s{config.scale}--r{config.seed}"
+               f"--{config.skew_replacement}--v{repro.__version__}")
+        return self.cache_dir / f"{key}.json"
+
+    def result(self, workload: str, scheme: str) -> ExecutionResult:
+        key = (workload, scheme)
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        path = self._path(workload, scheme)
+        if path.exists():
+            with open(path) as stream:
+                payload = json.load(stream)
+            result = ExecutionResult(**payload)
+            self._results[key] = result
+            self.disk_hits += 1
+            return result
+        self.disk_misses += 1
+        result = super().result(workload, scheme)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as stream:
+            json.dump(asdict(result), stream)
+        tmp.replace(path)  # atomic publish
+        return result

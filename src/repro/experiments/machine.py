@@ -1,0 +1,39 @@
+"""Table 3: parameters of the simulated architecture.
+
+Not an experiment — this prints the configuration constants the
+simulator encodes, for comparison against the paper's table.
+"""
+
+from __future__ import annotations
+
+from repro.cpu import MachineConfig
+from repro.reporting import format_table
+
+
+def render(config: MachineConfig = None) -> str:
+    config = config or MachineConfig.paper_default()
+    dram = config.dram_config()
+    rows = [
+        ["Issue width", config.issue_width],
+        ["Frequency (GHz)", config.frequency_ghz],
+        ["Pending loads / stores", f"{config.pending_loads} / {config.pending_stores}"],
+        ["Branch penalty (cycles)", config.branch_penalty],
+        ["L1 data", f"{config.l1_bytes // 1024} KB, {config.l1_assoc}-way, "
+                    f"{config.l1_block_bytes}-B line, {config.l1_hit_cycles}-cycle hit RT"],
+        ["L2 data", f"{config.l2_bytes // 1024} KB, {config.l2_assoc}-way, "
+                    f"{config.l2_block_bytes}-B line, {config.l2_hit_cycles}-cycle hit RT"],
+        ["L2 sets (physical)", config.l2_sets],
+        ["Memory RT (row miss)", f"{dram.row_miss_cycles} cycles"],
+        ["Memory RT (row hit)", f"{dram.row_hit_cycles} cycles"],
+        ["Memory channels", dram.channels],
+    ]
+    return format_table(["Parameter", "Value"], rows,
+                        title="Table 3: Simulated architecture")
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Figure 13: distribution of L2 misses across the cache sets for
+``tree``, under Base and under pMod.
+
+Under traditional indexing the vast majority of tree's misses pile
+into a small fraction of the sets (the arena-allocation alignment);
+prime modulo hashing flattens the distribution and with it removes the
+misses themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.cpu import build_hierarchy
+from repro.experiments.common import RunConfig, standard_argparser
+from repro.reporting import format_table, sparkline_series
+from repro.workloads import get_workload
+
+
+@dataclass
+class MissDistribution:
+    """Per-set L2 miss counts for one scheme."""
+
+    scheme: str
+    set_misses: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.set_misses.sum())
+
+    def top_fraction_share(self, fraction: float = 0.1) -> float:
+        """Share of all misses carried by the busiest ``fraction`` of sets."""
+        if self.total == 0:
+            return 0.0
+        ordered = np.sort(self.set_misses)[::-1]
+        top = max(1, int(len(ordered) * fraction))
+        return float(ordered[:top].sum() / self.total)
+
+    def coefficient_of_variation(self) -> float:
+        mean = self.set_misses.mean()
+        return float(self.set_misses.std() / mean) if mean else 0.0
+
+
+def run(config: RunConfig = RunConfig(), workload: str = "tree",
+        schemes=("base", "pmod")) -> Dict[str, MissDistribution]:
+    """Collect per-set miss counts for the requested schemes."""
+    trace = get_workload(workload).trace(scale=config.scale, seed=config.seed)
+    results = {}
+    for scheme in schemes:
+        hierarchy = build_hierarchy(scheme)
+        for address, is_write in zip(trace.addresses, trace.is_write):
+            hierarchy.access(int(address), bool(is_write))
+        results[scheme] = MissDistribution(
+            scheme, hierarchy.l2.stats.set_misses.copy()
+        )
+    return results
+
+
+def render(results: Dict[str, MissDistribution]) -> str:
+    sections = ["Figure 13: L2 miss distribution across sets (tree)"]
+    for scheme, dist in results.items():
+        sections.append(sparkline_series(
+            list(range(len(dist.set_misses))),
+            dist.set_misses.astype(float).tolist(),
+            title=f"{scheme}: total misses {dist.total}",
+        ))
+    rows = [
+        [
+            dist.scheme,
+            dist.total,
+            f"{dist.top_fraction_share(0.1):.1%}",
+            f"{dist.coefficient_of_variation():.2f}",
+        ]
+        for dist in results.values()
+    ]
+    sections.append(format_table(
+        ["scheme", "total misses", "misses in top 10% of sets", "CV"],
+        rows,
+    ))
+    return "\n\n".join(sections)
+
+
+def main() -> None:
+    args = standard_argparser(__doc__).parse_args()
+    print(render(run(RunConfig(scale=args.scale, seed=args.seed))))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Figures 9 and 10: normalized execution time under multiple hashing
+functions (Base, pMod, SKW, skw+pDisp).
+
+pMod carries over as the best single-hash scheme from Figures 7-8; the
+skewed associative caches trade a higher average speedup on the
+non-uniform applications for pathological slowdowns on some uniform
+ones (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ResultStore, RunConfig, standard_argparser
+from repro.experiments.single_hash import ExecutionTimeFigure, build_figure, render
+from repro.workloads import NONUNIFORM_APPS, UNIFORM_APPS
+
+#: Schemes of Figures 9-10, in presentation order.
+MULTI_HASH_SCHEMES = ("base", "pmod", "skw", "skw+pdisp")
+
+
+def run(config: RunConfig = RunConfig(), store: ResultStore = None):
+    """Both figures; returns (figure9, figure10)."""
+    store = store or ResultStore(config)
+    fig9 = build_figure(
+        "Figure 9: multiple hashing, non-uniform applications",
+        NONUNIFORM_APPS, MULTI_HASH_SCHEMES, store,
+    )
+    fig10 = build_figure(
+        "Figure 10: multiple hashing, uniform applications",
+        UNIFORM_APPS, MULTI_HASH_SCHEMES, store,
+    )
+    return fig9, fig10
+
+
+def pathological_cases(figure: ExecutionTimeFigure, scheme: str,
+                       threshold: float = 0.01):
+    """Apps this scheme slows by more than ``threshold`` vs Base."""
+    return [
+        app for app in figure.apps
+        if figure.speedup(app, scheme) < 1.0 - threshold
+    ]
+
+
+def main() -> None:
+    args = standard_argparser(__doc__).parse_args()
+    fig9, fig10 = run(RunConfig(scale=args.scale, seed=args.seed))
+    print(render(fig9))
+    print()
+    print(render(fig10))
+    for scheme in ("skw", "skw+pdisp"):
+        slow = pathological_cases(fig10, scheme)
+        print(f"\n{scheme}: pathological slowdowns on uniform apps: "
+              f"{', '.join(slow) if slow else 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Figures 7 and 8: normalized execution time under single hashing
+functions (Base, 8-way, XOR, pMod, pDisp).
+
+Figure 7 covers the applications with non-uniform cache accesses;
+Figure 8 the uniform ones.  Bars are normalized to Base and broken into
+Busy / Other Stalls / Memory Stall, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.cpu import NormalizedTime
+from repro.experiments.common import ResultStore, RunConfig, standard_argparser
+from repro.reporting import format_table, stacked_bar_chart
+from repro.workloads import NONUNIFORM_APPS, UNIFORM_APPS
+
+#: Schemes of Figures 7-8, in presentation order.
+SINGLE_HASH_SCHEMES = ("base", "8way", "xor", "pmod", "pdisp")
+
+
+@dataclass
+class ExecutionTimeFigure:
+    """One of the normalized-execution-time figures."""
+
+    title: str
+    apps: Sequence[str]
+    schemes: Sequence[str]
+    bars: Dict[str, Dict[str, NormalizedTime]] = field(default_factory=dict)
+
+    def normalized_total(self, app: str, scheme: str) -> float:
+        return self.bars[app][scheme].total
+
+    def speedup(self, app: str, scheme: str) -> float:
+        return 1.0 / self.normalized_total(app, scheme)
+
+    def average_speedup(self, scheme: str) -> float:
+        speedups = [self.speedup(app, scheme) for app in self.apps]
+        return sum(speedups) / len(speedups)
+
+
+def build_figure(title: str, apps: Sequence[str], schemes: Sequence[str],
+                 store: ResultStore) -> ExecutionTimeFigure:
+    """Simulate every (app, scheme) pair and normalize to Base."""
+    figure = ExecutionTimeFigure(title=title, apps=list(apps),
+                                 schemes=list(schemes))
+    for app in apps:
+        base = store.result(app, "base")
+        figure.bars[app] = {
+            scheme: store.result(app, scheme).normalized_to(base)
+            for scheme in schemes
+        }
+    return figure
+
+
+def run(config: RunConfig = RunConfig(), store: ResultStore = None):
+    """Both figures; returns (figure7, figure8)."""
+    store = store or ResultStore(config)
+    fig7 = build_figure(
+        "Figure 7: single hashing, non-uniform applications",
+        NONUNIFORM_APPS, SINGLE_HASH_SCHEMES, store,
+    )
+    fig8 = build_figure(
+        "Figure 8: single hashing, uniform applications",
+        UNIFORM_APPS, SINGLE_HASH_SCHEMES, store,
+    )
+    return fig7, fig8
+
+
+def render(figure: ExecutionTimeFigure) -> str:
+    """Stacked bars per app plus a speedup summary table."""
+    sections = [figure.title]
+    for app in figure.apps:
+        labels, segments = [], []
+        for scheme in figure.schemes:
+            bar = figure.bars[app][scheme]
+            labels.append(f"{app}/{scheme}")
+            segments.append((bar.busy, bar.other_stalls, bar.memory_stall))
+        sections.append(stacked_bar_chart(labels, segments))
+    rows = []
+    for scheme in figure.schemes:
+        speedups = [figure.speedup(app, scheme) for app in figure.apps]
+        rows.append([
+            scheme,
+            f"{min(speedups):.2f}",
+            f"{figure.average_speedup(scheme):.2f}",
+            f"{max(speedups):.2f}",
+        ])
+    sections.append(format_table(
+        ["scheme", "min speedup", "avg speedup", "max speedup"], rows,
+        title="Speedup over Base",
+    ))
+    return "\n\n".join(sections)
+
+
+def main() -> None:
+    args = standard_argparser(__doc__).parse_args()
+    fig7, fig8 = run(RunConfig(scale=args.scale, seed=args.seed))
+    print(render(fig7))
+    print()
+    print(render(fig8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Bit-accurate models of the paper's fast prime-modulo hardware.
+
+Everything here computes cache indices using only the operations the
+paper's hardware uses — shifts (wired permutations), narrow adds, and
+subtract&select stages — and is tested equivalent to true ``mod`` on
+every input:
+
+* :class:`SubtractSelectUnit` — Figure 2.
+* :class:`IterativeLinearUnit` — Equation 3 / Theorem 1.
+* :class:`PolynomialModUnit` — Equation 4 / Figures 3-4.
+* :class:`TlbCachedPrimeModulo` — the TLB-cached variant of §3.1.1.
+* :func:`iterations_required` — Theorem 1's bound.
+* :mod:`repro.hardware.cost` — adder/latency cost estimates.
+"""
+
+from repro.hardware.cost import (
+    HardwareCost,
+    prime_displacement_cost,
+    prime_modulo_iterative_cost,
+    prime_modulo_polynomial_cost,
+    traditional_cost,
+    xor_cost,
+)
+from repro.hardware.iterative_linear import IterativeLinearUnit, StepCounts
+from repro.hardware.polynomial import PolynomialModUnit, PolynomialStats
+from repro.hardware.subtract_select import SubtractSelectUnit
+from repro.hardware.theorem import iterations_required, selector_t
+from repro.hardware.tlb import TlbCachedPrimeModulo, TlbStats
+
+__all__ = [
+    "HardwareCost",
+    "IterativeLinearUnit",
+    "PolynomialModUnit",
+    "PolynomialStats",
+    "StepCounts",
+    "SubtractSelectUnit",
+    "TlbCachedPrimeModulo",
+    "TlbStats",
+    "iterations_required",
+    "prime_displacement_cost",
+    "prime_modulo_iterative_cost",
+    "prime_modulo_polynomial_cost",
+    "selector_t",
+    "traditional_cost",
+    "xor_cost",
+]

@@ -1,0 +1,124 @@
+"""Hardware-cost estimates for the indexing schemes (Section 3 claims).
+
+Counts the narrow adders, shifts (free wired permutations), selector
+inputs and an adder-stage latency estimate for each scheme, so the
+ablation bench can reproduce the paper's qualitative claims: pDisp cost
+is independent of machine width, the polynomial method is one step, and
+the iterative-linear method trades latency for hardware.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.theorem import iterations_required
+from repro.mathutil import largest_prime_below, log2_exact, ones_positions
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Cost summary for one indexing scheme on one machine geometry.
+
+    Attributes:
+        scheme: indexing scheme name.
+        adders: number of (index-width) add operations on the path.
+        selector_inputs: fan-in of the subtract&select stage (0 = none).
+        adder_stages: sequential adder stages (latency proxy; a
+            carry-save tree of n addends needs ~ceil(log2 n) + 1 stages).
+        width_dependent: whether cost grows with the machine address width.
+    """
+
+    scheme: str
+    adders: int
+    selector_inputs: int
+    adder_stages: int
+    width_dependent: bool
+
+
+def _csa_stages(n_addends: int) -> int:
+    """Adder stages to sum ``n_addends`` values (carry-save tree depth)."""
+    if n_addends <= 1:
+        return 0
+    return math.ceil(math.log2(n_addends)) + 1
+
+
+def traditional_cost(n_sets_physical: int) -> HardwareCost:
+    """Bit selection only — zero arithmetic."""
+    return HardwareCost("Base", adders=0, selector_inputs=0, adder_stages=0,
+                        width_dependent=False)
+
+
+def xor_cost(n_sets_physical: int) -> HardwareCost:
+    """One row of XOR gates; counted as a single stage, no adders."""
+    return HardwareCost("XOR", adders=0, selector_inputs=0, adder_stages=1,
+                        width_dependent=False)
+
+
+def prime_displacement_cost(
+    n_sets_physical: int, displacement: int = 9
+) -> HardwareCost:
+    """Narrow truncated multiply-add: one addend per set bit in p, plus x."""
+    n_addends = len(ones_positions(displacement)) + 1
+    return HardwareCost(
+        "pDisp",
+        adders=n_addends - 1,
+        selector_inputs=0,  # truncation, no modulo correction needed
+        adder_stages=_csa_stages(n_addends),
+        width_dependent=False,
+    )
+
+
+def prime_modulo_polynomial_cost(
+    n_sets_physical: int,
+    address_bits: int = 32,
+    block_bytes: int = 64,
+    n_sets: int = None,
+) -> HardwareCost:
+    """Polynomial method: one addend per tag chunk per Δ^j set bit, plus
+    folded carries, then a 2-input subtract&select (Figure 4)."""
+    index_bits = log2_exact(n_sets_physical)
+    offset_bits = log2_exact(block_bytes)
+    if n_sets is None:
+        n_sets = largest_prime_below(n_sets_physical)
+    delta = n_sets_physical - n_sets
+    block_bits = address_bits - offset_bits
+    n_chunks = max(0, math.ceil((block_bits - index_bits) / index_bits))
+    n_addends = 1  # x itself
+    power = 1
+    for _ in range(n_chunks):
+        power = (power * delta) % n_sets
+        n_addends += max(1, len(ones_positions(power)))
+    # One extra addend models the folded high-bit re-injection (Fig 3b).
+    n_addends += 1
+    return HardwareCost(
+        "pMod/polynomial",
+        adders=n_addends - 1,
+        selector_inputs=2,
+        adder_stages=_csa_stages(n_addends) + 1,  # +1 for the selector
+        width_dependent=True,
+    )
+
+
+def prime_modulo_iterative_cost(
+    n_sets_physical: int,
+    address_bits: int = 32,
+    block_bytes: int = 64,
+    n_sets: int = None,
+    selector_inputs: int = 3,
+) -> HardwareCost:
+    """Iterative linear method: Δ shift-add per iteration, serialized."""
+    if n_sets is None:
+        n_sets = largest_prime_below(n_sets_physical)
+    delta = n_sets_physical - n_sets
+    iters = iterations_required(
+        address_bits, block_bytes, n_sets_physical, n_sets, selector_inputs
+    )
+    adds_per_iter = len(ones_positions(delta))  # Δ·T as shift-adds, + x merge
+    return HardwareCost(
+        "pMod/iterative",
+        adders=iters * (adds_per_iter + 1),
+        selector_inputs=selector_inputs,
+        adder_stages=iters * (_csa_stages(adds_per_iter + 1)) + 1,
+        width_dependent=True,
+    )

@@ -1,0 +1,96 @@
+"""The iterative linear method of Section 3.1 (Equation 3).
+
+Rewrites ``a ≡ Δ·T + x (mod n_set)`` where ``T`` and ``x`` split the
+address at the index-bit boundary and ``Δ = n_set_phys - n_set``.  Each
+application shrinks the operand; the multiplication by the tiny ``Δ``
+is realized as shifts and adds.  After enough iterations the residue is
+small and a subtract&select finishes the job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.subtract_select import SubtractSelectUnit
+from repro.mathutil import largest_prime_below, log2_exact, ones_positions
+
+
+@dataclass
+class StepCounts:
+    """Operation counts for one index computation (hardware activity)."""
+
+    iterations: int = 0
+    shifts: int = 0
+    adds: int = 0
+
+
+class IterativeLinearUnit:
+    """Bit-accurate model of the iterative-linear prime-modulo hardware.
+
+    Args:
+        n_sets_physical: power-of-two physical set count.
+        address_bits: machine address width (B in Theorem 1).
+        block_bytes: cache line size (L in Theorem 1).
+        n_sets: prime set count; defaults to the largest prime below
+            ``n_sets_physical``.
+        selector_inputs: subtract&select fan-in; larger selectors absorb
+            more bits per iteration (Theorem 1's ``2^t + 2`` form).
+    """
+
+    def __init__(
+        self,
+        n_sets_physical: int,
+        address_bits: int = 32,
+        block_bytes: int = 64,
+        n_sets: int = None,
+        selector_inputs: int = 2,
+    ):
+        self.n_sets_physical = n_sets_physical
+        self.index_bits = log2_exact(n_sets_physical)
+        self.offset_bits = log2_exact(block_bytes)
+        self.address_bits = address_bits
+        self.n_sets = n_sets if n_sets is not None else largest_prime_below(n_sets_physical)
+        self.delta = n_sets_physical - self.n_sets
+        if self.delta <= 0:
+            raise ValueError("n_sets must be below the physical set count")
+        if selector_inputs < 2:
+            raise ValueError("selector needs at least 2 inputs")
+        self._delta_shifts = ones_positions(self.delta)
+        # The selector can absorb values up to selector_inputs * n_sets - 1.
+        self.selector = SubtractSelectUnit(
+            self.n_sets, max_input=selector_inputs * self.n_sets - 1
+        )
+        self.last_counts = StepCounts()
+
+    @property
+    def block_address_bits(self) -> int:
+        """Width of the block address the unit reduces."""
+        return self.address_bits - self.offset_bits
+
+    def _times_delta(self, value: int, counts: StepCounts) -> int:
+        """Multiply by Δ using only its shift-and-add decomposition."""
+        total = 0
+        for shift in self._delta_shifts:
+            counts.shifts += 1 if shift else 0
+            counts.adds += 1
+            total += value << shift
+        return total
+
+    def compute(self, block_address: int) -> int:
+        """Index of ``block_address`` using only shift/add/select steps."""
+        if block_address < 0 or block_address >= (1 << self.block_address_bits):
+            raise ValueError(
+                f"block address {block_address} exceeds "
+                f"{self.block_address_bits}-bit datapath"
+            )
+        counts = StepCounts()
+        mask = self.n_sets_physical - 1
+        value = block_address
+        while value > self.selector.max_input:
+            tag = value >> self.index_bits
+            low = value & mask
+            value = self._times_delta(tag, counts) + low
+            counts.adds += 1
+            counts.iterations += 1
+        self.last_counts = counts
+        return self.selector.reduce(value)

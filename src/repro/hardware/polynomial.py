@@ -1,0 +1,161 @@
+"""The polynomial method of Section 3.1 (Equation 4) and Figures 3-4.
+
+Expresses the block address as ``x + t1·Δ + t2·Δ² + … (mod n_set)``
+where the ``t_j`` are successive index-width chunks of the tag.  All
+partial products are formed with shifts and adds; any bits that carry
+past the index width are *folded* back (a carry out of bit ``k`` is
+worth ``2^k ≡ Δ·2^(k-index_bits)`` in the modulo space — the trick the
+paper uses to shrink Figure 3a's six addends into Figure 3b's five and
+to keep the final subtract&select at two inputs).
+
+The Mersenne special case (Δ = 1, Equation 5) reduces to summing the
+chunks, matching Yang & Yang's earlier design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hardware.subtract_select import SubtractSelectUnit
+from repro.mathutil import largest_prime_below, log2_exact, ones_positions, split_address
+
+
+@dataclass
+class PolynomialStats:
+    """Hardware activity for one polynomial index computation."""
+
+    adds: int = 0
+    shifts: int = 0
+    folds: int = 0
+    addends: int = 0
+
+
+class PolynomialModUnit:
+    """Bit-accurate model of the one-step polynomial prime-modulo hardware."""
+
+    def __init__(
+        self,
+        n_sets_physical: int,
+        address_bits: int = 32,
+        block_bytes: int = 64,
+        n_sets: int = None,
+    ):
+        self.n_sets_physical = n_sets_physical
+        self.index_bits = log2_exact(n_sets_physical)
+        self.offset_bits = log2_exact(block_bytes)
+        self.address_bits = address_bits
+        self.n_sets = n_sets if n_sets is not None else largest_prime_below(n_sets_physical)
+        self.delta = n_sets_physical - self.n_sets
+        if self.delta <= 0:
+            raise ValueError("n_sets must be below the physical set count")
+        self._delta_shifts = ones_positions(self.delta)
+        # Folding keeps the running sum below 2^(index_bits + 1), so a
+        # two-input selector suffices (Figure 4).
+        self.selector = SubtractSelectUnit(self.n_sets, max_input=2 * self.n_sets - 1)
+        self.last_stats = PolynomialStats()
+        # Precompute Δ^j mod n_set shift/add decompositions for each chunk.
+        n_chunks = max(
+            0, -(-(self.block_address_bits - self.index_bits) // self.index_bits)
+        )
+        self._chunk_multipliers: List[List[int]] = []
+        power = 1
+        for _ in range(n_chunks):
+            power = (power * self.delta) % self.n_sets
+            self._chunk_multipliers.append(ones_positions(power))
+
+    @property
+    def block_address_bits(self) -> int:
+        return self.address_bits - self.offset_bits
+
+    def _fold(self, value: int, stats: PolynomialStats) -> int:
+        """Fold carries past the index width back into the modulo space.
+
+        2^index_bits ≡ Δ (mod n_set), so the high part re-enters
+        multiplied by Δ.  Converges because Δ « 2^index_bits.
+        """
+        mask = self.n_sets_physical - 1
+        while value >= self.n_sets_physical:
+            high = value >> self.index_bits
+            low = value & mask
+            folded = 0
+            for shift in self._delta_shifts:
+                stats.shifts += 1 if shift else 0
+                stats.adds += 1
+                folded += high << shift
+            value = folded + low
+            stats.adds += 1
+            stats.folds += 1
+        return value
+
+    def _times_constant(self, value: int, shifts: List[int], stats: PolynomialStats) -> int:
+        total = 0
+        for shift in shifts:
+            stats.shifts += 1 if shift else 0
+            stats.adds += 1
+            total += value << shift
+        return total
+
+    def compute(self, block_address: int) -> int:
+        """Index of ``block_address`` via Equation 4 + folding + select."""
+        if block_address < 0 or block_address >= (1 << self.block_address_bits):
+            raise ValueError(
+                f"block address {block_address} exceeds "
+                f"{self.block_address_bits}-bit datapath"
+            )
+        stats = PolynomialStats()
+        x, chunks = split_address(block_address, self.index_bits, self.block_address_bits)
+        total = x
+        stats.addends = 1 + len(chunks)
+        for t_j, multiplier in zip(chunks, self._chunk_multipliers):
+            partial = self._times_constant(t_j, multiplier, stats)
+            partial = self._fold(partial, stats)
+            total = self._fold(total + partial, stats)
+            stats.adds += 1
+        self.last_stats = stats
+        return self.selector.reduce(total)
+
+    @property
+    def is_mersenne_case(self) -> bool:
+        """True when Δ = 1 and Equation 4 degenerates to Equation 5."""
+        return self.delta == 1
+
+    def explain(self, block_address: int) -> List[str]:
+        """Human-readable decomposition of one index computation.
+
+        Returns the Figure 3-style addend list: the x term, each
+        ``t_j · Δ^j`` partial product with its shift-add expansion, the
+        folded running sums, and the final subtract&select — the same
+        steps :meth:`compute` performs, narrated.
+        """
+        x, chunks = split_address(block_address, self.index_bits,
+                                  self.block_address_bits)
+        lines = [
+            f"block address {block_address:#x} "
+            f"(n_set_phys={self.n_sets_physical}, n_set={self.n_sets}, "
+            f"Δ={self.delta})",
+            f"  x  = {x}",
+        ]
+        stats = PolynomialStats()
+        total = x
+        power = 1
+        for j, (t_j, multiplier) in enumerate(
+            zip(chunks, self._chunk_multipliers), start=1
+        ):
+            power = (power * self.delta) % self.n_sets
+            shifts = " + ".join(f"(t{j} << {s})" for s in multiplier) or "0"
+            partial = self._times_constant(t_j, multiplier, stats)
+            folded = self._fold(partial, stats)
+            note = f" -> folds to {folded}" if folded != partial else ""
+            lines.append(
+                f"  t{j} = {t_j}: t{j}·Δ^{j} ≡ t{j}·{power} = {shifts} "
+                f"= {partial}{note}"
+            )
+            total = self._fold(total + folded, stats)
+            lines.append(f"  running sum (folded) = {total}")
+        index = total - (total // self.n_sets) * self.n_sets
+        lines.append(
+            f"  subtract&select ({self.selector.n_inputs} inputs): "
+            f"{total} -> index {index}"
+        )
+        return lines

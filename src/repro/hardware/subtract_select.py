@@ -1,0 +1,59 @@
+"""The subtract&select unit of Figure 2.
+
+Computes ``x mod n_set`` for a *small* ``x`` by feeding ``x``,
+``x - n_set``, ``x - 2·n_set``, … into a selector that picks the
+rightmost non-negative input.  This is the terminal stage of both the
+iterative-linear and polynomial prime-modulo implementations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SubtractSelectUnit:
+    """Hardware model of the subtract&select stage.
+
+    Args:
+        modulus: the prime ``n_set`` being reduced by.
+        max_input: largest value the surrounding datapath can present;
+            fixes the number of subtractors/selector inputs in hardware.
+    """
+
+    modulus: int
+    max_input: int
+    uses: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.modulus < 2:
+            raise ValueError(f"modulus must be >= 2, got {self.modulus}")
+        if self.max_input < 0:
+            raise ValueError("max_input must be non-negative")
+
+    @property
+    def n_inputs(self) -> int:
+        """Selector inputs required: x, x-n, ... down to the largest
+        multiple of the modulus not exceeding ``max_input``."""
+        return self.max_input // self.modulus + 1
+
+    @property
+    def selector_shift_budget(self) -> int:
+        """The ``t`` of Theorem 1: a selector with 2^t + 2 inputs lets each
+        iterative-linear step absorb ``t`` extra address bits."""
+        if self.n_inputs < 3:
+            return 0
+        return int(math.floor(math.log2(self.n_inputs - 2)))
+
+    def reduce(self, value: int) -> int:
+        """Select the rightmost non-negative among value - k·modulus."""
+        if not 0 <= value <= self.max_input:
+            raise ValueError(
+                f"value {value} outside datapath range [0, {self.max_input}]"
+            )
+        self.uses += 1
+        # Hardware computes all candidates in parallel; the arithmetic
+        # result is exactly the modulo because the candidates cover the
+        # full input range.
+        return value - (value // self.modulus) * self.modulus

@@ -1,0 +1,101 @@
+"""TLB-cached prime modulo computation (Section 3.1.1, last paragraph).
+
+A physical address is ``page_number · page_size + page_offset``.  The
+page-number contribution to the L2 index, ``(page_number ·
+blocks_per_page) mod n_set``, is computed once on a TLB miss and stored
+in the TLB entry.  On an L1 miss the cached value is added to the
+block-granular page-offset bits and one narrow subtract&select yields
+the final index — "much less than one clock cycle" of work on the
+L1-miss path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.hardware.subtract_select import SubtractSelectUnit
+from repro.mathutil import largest_prime_below, log2_exact
+
+
+@dataclass
+class TlbStats:
+    """Hit/miss counters for the modeled TLB."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class TlbCachedPrimeModulo:
+    """Prime-modulo index unit whose page-level part is cached in a TLB.
+
+    Args:
+        n_sets_physical: power-of-two physical L2 set count.
+        page_bytes: virtual-memory page size.
+        block_bytes: L2 line size.
+        tlb_entries: number of (fully associative, LRU) TLB entries.
+        n_sets: prime set count; defaults per Table 1.
+    """
+
+    def __init__(
+        self,
+        n_sets_physical: int,
+        page_bytes: int = 4096,
+        block_bytes: int = 64,
+        tlb_entries: int = 64,
+        n_sets: int = None,
+    ):
+        if page_bytes < block_bytes:
+            raise ValueError("page must be at least one cache block")
+        if tlb_entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.n_sets_physical = n_sets_physical
+        self.index_bits = log2_exact(n_sets_physical)
+        self.offset_bits = log2_exact(block_bytes)
+        self.page_bits = log2_exact(page_bytes)
+        self.n_sets = n_sets if n_sets is not None else largest_prime_below(n_sets_physical)
+        self.blocks_per_page = page_bytes // block_bytes
+        self.tlb_entries = tlb_entries
+        self._tlb: "OrderedDict[int, int]" = OrderedDict()
+        self.stats = TlbStats()
+        # Cached page component < n_sets; offset component < blocks_per_page.
+        self.selector = SubtractSelectUnit(
+            self.n_sets, max_input=self.n_sets - 1 + self.blocks_per_page - 1
+        )
+
+    def _page_component(self, page_number: int) -> int:
+        """Fetch (or compute and cache) the page-number modulo."""
+        cached = self._tlb.get(page_number)
+        if cached is not None:
+            self.stats.hits += 1
+            self._tlb.move_to_end(page_number)
+            return cached
+        self.stats.misses += 1
+        # Off the critical path: performed while servicing the TLB miss.
+        component = (page_number * self.blocks_per_page) % self.n_sets
+        if len(self._tlb) >= self.tlb_entries:
+            self._tlb.popitem(last=False)
+            self.stats.evictions += 1
+        self._tlb[page_number] = component
+        return component
+
+    def index_for_address(self, byte_address: int) -> int:
+        """L2 set index for a byte address, via the TLB-cached path."""
+        if byte_address < 0:
+            raise ValueError("address must be non-negative")
+        page_number = byte_address >> self.page_bits
+        offset_blocks = (byte_address >> self.offset_bits) & (self.blocks_per_page - 1)
+        return self.selector.reduce(self._page_component(page_number) + offset_blocks)
+
+    def index_for_block(self, block_address: int) -> int:
+        """L2 set index for a block address (convenience wrapper)."""
+        return self.index_for_address(block_address << self.offset_bits)

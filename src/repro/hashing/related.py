@@ -1,0 +1,166 @@
+"""Related-work hashing functions (paper Section 6 comparators).
+
+The paper's XOR baseline (``t1 ⊕ x``) is the most prominent member of a
+family of pseudo-random indexing schemes.  For completeness — and for
+the extended ablation benches — this module implements three more:
+
+* :class:`XorFoldIndexing` — XOR-fold *every* tag chunk into the index,
+  not just the lowest (the natural strengthening of the XOR baseline).
+* :class:`GF2PolynomialIndexing` — Topham & González's conflict-avoiding
+  cache: the index is the residue of the address polynomial modulo an
+  irreducible polynomial over GF(2), computed by a linear bit-matrix.
+* :class:`MultiplicativeIndexing` — Fibonacci/multiplicative hashing
+  (Knuth): multiply by an odd constant derived from the golden ratio
+  and take the top index bits; a software-hash classic included as a
+  "how random can you get" reference point.
+
+None of these is sequence invariant, so per the paper's Section 2
+analysis all are exposed to concentration-driven pathologies; the
+stride-sweep ablation quantifies that.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.hashing.base import IndexingFunction, register_indexing
+
+
+@register_indexing("xorfold")
+class XorFoldIndexing(IndexingFunction):
+    """XOR-fold all index-width tag chunks into the index bits."""
+
+    name = "XOR-fold"
+
+    def __init__(self, n_sets_physical: int, address_bits: int = 32):
+        super().__init__(n_sets_physical)
+        if address_bits < self.index_bits:
+            raise ValueError("address must be at least index_bits wide")
+        self.address_bits = address_bits
+        self._mask = n_sets_physical - 1
+
+    def index(self, block_address: int) -> int:
+        value = block_address
+        folded = 0
+        while value:
+            folded ^= value & self._mask
+            value >>= self.index_bits
+        return folded
+
+    def index_array(self, block_addresses: np.ndarray) -> np.ndarray:
+        a = np.asarray(block_addresses, dtype=np.uint64)
+        mask = np.uint64(self._mask)
+        shift = np.uint64(self.index_bits)
+        folded = np.zeros_like(a)
+        value = a.copy()
+        for _ in range(0, 64, self.index_bits):
+            folded ^= value & mask
+            value >>= shift
+            if not value.any():
+                break
+        return folded.astype(np.int64)
+
+
+#: Default irreducible polynomials over GF(2) by degree (bitmask form,
+#: excluding the leading x^k term).  E.g. degree 11: x^11 + x^2 + 1.
+_IRREDUCIBLE = {
+    4: 0b0011,            # x^4 + x + 1
+    5: 0b00101,           # x^5 + x^2 + 1
+    6: 0b000011,          # x^6 + x + 1
+    7: 0b0000011,         # x^7 + x + 1
+    8: 0b00011101,        # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b000010001,       # x^9 + x^4 + 1
+    10: 0b0000001001,     # x^10 + x^3 + 1
+    11: 0b00000000101,    # x^11 + x^2 + 1
+    12: 0b000001010011,   # x^12 + x^6 + x^4 + x + 1
+    13: 0b0000000011011,  # x^13 + x^4 + x^3 + x + 1
+    14: 0b00000000101011,  # x^14 + x^5 + x^3 + x + 1
+}
+
+
+@register_indexing("gf2")
+class GF2PolynomialIndexing(IndexingFunction):
+    """Polynomial-residue indexing over GF(2) (Topham & González).
+
+    The block address, read as a polynomial over GF(2), is reduced
+    modulo an irreducible polynomial of degree ``index_bits``; the
+    residue is the set index.  Hardware is a tree of XORs (one row per
+    address bit above the index), captured here by a precomputed bit
+    matrix applied column by column.
+    """
+
+    name = "GF2-poly"
+
+    def __init__(self, n_sets_physical: int, address_bits: int = 32,
+                 polynomial: int = None):
+        super().__init__(n_sets_physical)
+        degree = self.index_bits
+        if polynomial is None:
+            try:
+                polynomial = _IRREDUCIBLE[degree]
+            except KeyError:
+                raise ValueError(
+                    f"no default irreducible polynomial of degree {degree}; "
+                    "pass one explicitly"
+                ) from None
+        self.polynomial = polynomial
+        self.address_bits = address_bits
+        self._mask = n_sets_physical - 1
+        # Column i of the matrix: residue of x^i mod the polynomial.
+        columns: List[int] = []
+        residue = 1
+        for _ in range(address_bits):
+            columns.append(residue)
+            residue <<= 1
+            if residue & n_sets_physical:  # degree reached: reduce
+                residue = (residue & self._mask) ^ polynomial
+        self._columns = columns
+        self._columns_array = np.asarray(columns, dtype=np.uint64)
+
+    def index(self, block_address: int) -> int:
+        result = 0
+        bit = 0
+        value = block_address
+        while value:
+            if value & 1:
+                result ^= self._columns[bit]
+            value >>= 1
+            bit += 1
+        return result
+
+    def index_array(self, block_addresses: np.ndarray) -> np.ndarray:
+        a = np.asarray(block_addresses, dtype=np.uint64)
+        result = np.zeros_like(a)
+        for bit in range(self.address_bits):
+            mask = (a >> np.uint64(bit)) & np.uint64(1)
+            result ^= mask * self._columns_array[bit]
+        return result.astype(np.int64)
+
+
+#: 2^64 / golden ratio, forced odd — Knuth's multiplicative constant.
+FIBONACCI_MULTIPLIER_64 = 0x9E3779B97F4A7C15
+
+
+@register_indexing("multiplicative")
+class MultiplicativeIndexing(IndexingFunction):
+    """Fibonacci (multiplicative) hashing: top bits of a * K mod 2^64."""
+
+    name = "Multiplicative"
+
+    def __init__(self, n_sets_physical: int,
+                 multiplier: int = FIBONACCI_MULTIPLIER_64):
+        super().__init__(n_sets_physical)
+        if multiplier % 2 == 0:
+            raise ValueError("multiplier must be odd")
+        self.multiplier = multiplier & 0xFFFFFFFFFFFFFFFF
+
+    def index(self, block_address: int) -> int:
+        product = (block_address * self.multiplier) & 0xFFFFFFFFFFFFFFFF
+        return product >> (64 - self.index_bits)
+
+    def index_array(self, block_addresses: np.ndarray) -> np.ndarray:
+        a = np.asarray(block_addresses, dtype=np.uint64)
+        product = a * np.uint64(self.multiplier)  # wraps mod 2^64
+        return (product >> np.uint64(64 - self.index_bits)).astype(np.int64)

@@ -1,0 +1,118 @@
+"""Skewed-cache quality metrics.
+
+Section 3.3: "cache blocks that are mapped to the same set in one bank
+are most likely not to map to the same set in the other banks."  That
+property — *inter-bank dispersion* — is what lets a skewed cache break
+conflicts a single hash cannot.  This module measures it, plus a
+conflict-diagnosis helper that names the blocks fighting over the
+hottest sets of any indexing function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.hashing.base import BankIndexingFamily, IndexingFunction
+
+
+@dataclass(frozen=True)
+class DispersionReport:
+    """Inter-bank dispersion of a skewed hashing family.
+
+    Attributes:
+        same_set_pair_rate: probability that a pair colliding in one
+            bank also collides in another (0 = perfect dispersion; a
+            single repeated hash would give 1).
+        pairs_tested: number of colliding pairs examined.
+    """
+
+    same_set_pair_rate: float
+    pairs_tested: int
+
+    @property
+    def disperses(self) -> bool:
+        """True when cross-bank collisions are rare (< 5%)."""
+        return self.same_set_pair_rate < 0.05
+
+
+def inter_bank_dispersion(family: BankIndexingFamily,
+                          n_samples: int = 20000,
+                          seed: int = 0) -> DispersionReport:
+    """Measure how often bank-0 conflicts persist in the other banks.
+
+    Samples random block-address pairs that collide in bank 0 and
+    counts how many also collide in at least one other bank.
+    """
+    if n_samples < 2:
+        raise ValueError("need at least two samples")
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 32, size=n_samples, dtype=np.uint64)
+    bank0 = np.fromiter(
+        (family.bank_index(0, int(a)) for a in addresses),
+        dtype=np.int64, count=n_samples,
+    )
+    # Group by bank-0 set; pair up consecutive members of each group.
+    order = np.argsort(bank0, kind="stable")
+    sorted_sets = bank0[order]
+    same = sorted_sets[:-1] == sorted_sets[1:]
+    first = addresses[order[:-1][same]]
+    second = addresses[order[1:][same]]
+    pairs = len(first)
+    if pairs == 0:
+        return DispersionReport(same_set_pair_rate=0.0, pairs_tested=0)
+    collisions = 0
+    for a, b in zip(first.tolist(), second.tolist()):
+        for bank in range(1, family.n_banks):
+            if family.bank_index(bank, a) == family.bank_index(bank, b):
+                collisions += 1
+                break
+    return DispersionReport(same_set_pair_rate=collisions / pairs,
+                            pairs_tested=pairs)
+
+
+@dataclass(frozen=True)
+class ConflictGroup:
+    """The blocks crowding one set under some indexing function."""
+
+    set_index: int
+    accesses: int
+    blocks: tuple  #: distinct block addresses mapped here, most-accessed first
+
+    @property
+    def pressure(self) -> int:
+        """Distinct blocks competing for the set's ways."""
+        return len(self.blocks)
+
+
+def top_conflict_sets(indexing: IndexingFunction,
+                      block_addresses: np.ndarray,
+                      top: int = 5,
+                      max_blocks_listed: int = 16) -> List[ConflictGroup]:
+    """The most access-crowded sets and the blocks fighting over them.
+
+    A diagnosis aid: point it at a trace and it names the addresses —
+    hence, with a memory map, the data structures — responsible for the
+    conflict misses an indexing function suffers.
+    """
+    if top < 1:
+        raise ValueError("top must be positive")
+    blocks = np.asarray(block_addresses, dtype=np.uint64)
+    sets = indexing.index_array(blocks)
+    counts = np.bincount(sets, minlength=indexing.n_sets)
+    hottest = np.argsort(counts)[::-1][:top]
+    groups = []
+    for set_index in hottest:
+        if counts[set_index] == 0:
+            break
+        members = blocks[sets == set_index]
+        uniques, member_counts = np.unique(members, return_counts=True)
+        ranked = uniques[np.argsort(member_counts)[::-1]]
+        groups.append(ConflictGroup(
+            set_index=int(set_index),
+            accesses=int(counts[set_index]),
+            blocks=tuple(int(b) for b in ranked[:max_blocks_listed]),
+        ))
+    return groups

@@ -1,0 +1,30 @@
+"""Traditional power-of-two modulo indexing (the paper's *Base*)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.base import IndexingFunction, register_indexing
+
+
+@register_indexing("traditional")
+class TraditionalIndexing(IndexingFunction):
+    """``H(a) = a mod n_set_phys`` — the low index bits of the address.
+
+    Ideal balance only for odd strides; sequence invariant, hence ideal
+    concentration whenever balance is ideal (paper Table 2, column 1).
+    """
+
+    name = "Base"
+
+    def __init__(self, n_sets_physical: int):
+        super().__init__(n_sets_physical)
+        self._mask = n_sets_physical - 1
+
+    def index(self, block_address: int) -> int:
+        return block_address & self._mask
+
+    def index_array(self, block_addresses: np.ndarray) -> np.ndarray:
+        return (np.asarray(block_addresses, dtype=np.uint64) & np.uint64(self._mask)).astype(
+            np.int64
+        )

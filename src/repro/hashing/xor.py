@@ -1,0 +1,35 @@
+"""XOR-based pseudo-random indexing (the paper's *XOR* comparator)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.base import IndexingFunction, register_indexing
+
+
+@register_indexing("xor")
+class XorIndexing(IndexingFunction):
+    """``H(a) = t ⊕ x`` where ``t`` is the low tag chunk, ``x`` the index bits.
+
+    The most studied alternative hashing; achieves ideal balance on most
+    strides but is never sequence invariant, so its concentration is
+    non-ideal — the source of its pathological behavior (Section 3.3).
+    """
+
+    name = "XOR"
+
+    def __init__(self, n_sets_physical: int):
+        super().__init__(n_sets_physical)
+        self._mask = n_sets_physical - 1
+
+    def index(self, block_address: int) -> int:
+        x = block_address & self._mask
+        t = (block_address >> self.index_bits) & self._mask
+        return t ^ x
+
+    def index_array(self, block_addresses: np.ndarray) -> np.ndarray:
+        a = np.asarray(block_addresses, dtype=np.uint64)
+        mask = np.uint64(self._mask)
+        x = a & mask
+        t = (a >> np.uint64(self.index_bits)) & mask
+        return (t ^ x).astype(np.int64)

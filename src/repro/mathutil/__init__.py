@@ -1,0 +1,42 @@
+"""Number-theory and bit-manipulation utilities.
+
+These back the prime-number indexing functions (largest prime below a
+power of two, Mersenne primes) and the hardware models (bit-field
+extraction mirroring Figure 1 of the paper).
+"""
+
+from repro.mathutil.bits import (
+    bit_field,
+    bit_length,
+    circular_shift_left,
+    is_power_of_two,
+    log2_exact,
+    ones_positions,
+    split_address,
+)
+from repro.mathutil.primes import (
+    is_mersenne_prime,
+    is_prime,
+    largest_prime_below,
+    mersenne_primes_below,
+    next_prime,
+    prev_prime,
+    primes_below,
+)
+
+__all__ = [
+    "bit_field",
+    "bit_length",
+    "circular_shift_left",
+    "is_mersenne_prime",
+    "is_power_of_two",
+    "is_prime",
+    "largest_prime_below",
+    "log2_exact",
+    "mersenne_primes_below",
+    "next_prime",
+    "ones_positions",
+    "prev_prime",
+    "primes_below",
+    "split_address",
+]

@@ -1,0 +1,84 @@
+"""Bit-field helpers mirroring the address decomposition of Figure 1.
+
+A block address ``a`` is split into the ``log2(n_set_phys)`` index bits
+``x`` and successive tag chunks ``t1, t2, ...`` of the same width.  The
+hardware models in :mod:`repro.hardware` are defined purely in terms of
+these fields.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_exact(n: int) -> int:
+    """Return log2(n) for an exact power of two; raise otherwise."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+def bit_length(n: int) -> int:
+    """Number of bits needed to represent ``n`` (0 needs 1 bit here)."""
+    return max(1, int(n).bit_length())
+
+
+def bit_field(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``."""
+    if low < 0 or width < 0:
+        raise ValueError("low and width must be non-negative")
+    return (value >> low) & ((1 << width) - 1)
+
+
+def split_address(block_address: int, index_bits: int, address_bits: int) -> Tuple[int, List[int]]:
+    """Split a block address into ``(x, [t1, t2, ...])`` per Figure 1.
+
+    ``x`` is the low ``index_bits`` bits; each ``t_j`` is the next
+    ``index_bits``-wide chunk of the tag, until ``address_bits`` are
+    consumed.  The last chunk may be narrower.
+    """
+    if block_address < 0:
+        raise ValueError("block address must be non-negative")
+    x = bit_field(block_address, 0, index_bits)
+    chunks: List[int] = []
+    low = index_bits
+    while low < address_bits:
+        width = min(index_bits, address_bits - low)
+        chunks.append(bit_field(block_address, low, width))
+        low += index_bits
+    return x, chunks
+
+
+def circular_shift_left(value: int, shift: int, width: int) -> int:
+    """Rotate the low ``width`` bits of ``value`` left by ``shift``.
+
+    Used by Seznec's skewed associative hashing, which circularly shifts
+    the tag chunk by a different amount in each cache bank.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    shift %= width
+    mask = (1 << width) - 1
+    value &= mask
+    return ((value << shift) | (value >> (width - shift))) & mask
+
+
+def ones_positions(n: int) -> List[int]:
+    """Bit positions set in ``n`` (low to high).
+
+    The hardware cost model uses this to turn a constant multiply into
+    its shift-and-add decomposition (e.g. 9 = 1001b -> [0, 3]).
+    """
+    positions = []
+    bit = 0
+    while n:
+        if n & 1:
+            positions.append(bit)
+        n >>= 1
+        bit += 1
+    return positions

@@ -1,0 +1,118 @@
+"""Primality helpers used to select cache set counts.
+
+The paper's prime modulo hashing uses ``n_set``, the largest prime
+strictly below the physical (power-of-two) number of sets.  All
+functions here are deterministic; :func:`is_prime` is a deterministic
+Miller-Rabin valid for every 64-bit integer, which covers any plausible
+cache geometry.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# Witnesses proven sufficient for a deterministic Miller-Rabin test on
+# all integers below 3,317,044,064,679,887,385,961,981 (> 2^64).
+_MILLER_RABIN_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Return True if ``n`` is prime (deterministic for n < 2**64)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 as d * 2**r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MILLER_RABIN_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def prev_prime(n: int) -> int:
+    """Return the largest prime strictly less than ``n``.
+
+    Raises ValueError when no prime exists below ``n`` (i.e. n <= 2).
+    """
+    if n <= 2:
+        raise ValueError(f"no prime below {n}")
+    candidate = n - 1
+    if candidate > 2 and candidate % 2 == 0:
+        candidate -= 1
+    while candidate >= 2:
+        if is_prime(candidate):
+            return candidate
+        candidate -= 2 if candidate > 3 else 1
+    raise ValueError(f"no prime below {n}")  # pragma: no cover - unreachable
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    if candidate > 2 and candidate % 2 == 0:
+        candidate += 1
+    while True:
+        if is_prime(candidate):
+            return candidate
+        candidate += 2 if candidate > 2 else 1
+
+
+def largest_prime_below(power_of_two: int) -> int:
+    """Largest prime below a power-of-two set count (paper Table 1).
+
+    This is the ``n_set`` the prime modulo hashing uses for a cache with
+    ``power_of_two`` physical sets.
+    """
+    if power_of_two < 4:
+        raise ValueError("need at least 4 physical sets to pick a prime")
+    return prev_prime(power_of_two)
+
+
+def primes_below(limit: int) -> List[int]:
+    """All primes strictly below ``limit`` via a sieve of Eratosthenes."""
+    if limit <= 2:
+        return []
+    sieve = bytearray([1]) * limit
+    sieve[0] = sieve[1] = 0
+    for p in range(2, int(limit ** 0.5) + 1):
+        if sieve[p]:
+            sieve[p * p :: p] = bytearray(len(sieve[p * p :: p]))
+    return [i for i in range(limit) if sieve[i]]
+
+
+def is_mersenne_prime(n: int) -> bool:
+    """True when ``n`` is prime and of the form 2**k - 1.
+
+    Mersenne primes admit the simplified folding of Equation 5 (Δ = 1);
+    the paper's contribution is removing this restriction.
+    """
+    return (n & (n + 1)) == 0 and is_prime(n)
+
+
+def mersenne_primes_below(limit: int) -> List[int]:
+    """All Mersenne primes below ``limit`` (sparse: 3, 7, 31, 127, 8191, ...)."""
+    result = []
+    k = 2
+    while (1 << k) - 1 < limit:
+        candidate = (1 << k) - 1
+        if is_prime(candidate):
+            result.append(candidate)
+        k += 1
+    return result

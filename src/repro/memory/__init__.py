@@ -1,0 +1,5 @@
+"""DRAM and memory-bus models backing the L2 miss latencies of Table 3."""
+
+from repro.memory.dram import DramConfig, DramModel, DramStats
+
+__all__ = ["DramConfig", "DramModel", "DramStats"]

@@ -1,0 +1,6 @@
+"""Terminal rendering helpers for experiment results."""
+
+from repro.reporting.chart import bar_chart, sparkline_series, stacked_bar_chart
+from repro.reporting.table import format_table
+
+__all__ = ["bar_chart", "format_table", "sparkline_series", "stacked_bar_chart"]

@@ -1,0 +1,117 @@
+"""Plain-text charts: horizontal bars and compact line series.
+
+The paper's figures are bar charts (normalized execution time / miss
+counts per application) and stride sweeps (balance / concentration vs
+stride); these helpers render both in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = None,
+    width: int = 50,
+    reference: float = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart; an optional ``reference`` draws a marker
+    (e.g. the Base = 1.0 line of the normalized figures)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("need at least one bar")
+    if width < 10:
+        raise ValueError("width too small to draw")
+    peak = max(max(values), reference or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(l) for l in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        filled = int(round(value / peak * width))
+        bar = "#" * filled
+        if reference is not None:
+            ref_pos = int(round(reference / peak * width))
+            if ref_pos >= len(bar):
+                bar = bar.ljust(ref_pos) + "|"
+        lines.append(
+            f"{label.ljust(label_width)} {fmt.format(value).rjust(8)} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    labels: Sequence[str],
+    segments: Sequence[Tuple[float, float, float]],
+    segment_names: Tuple[str, str, str] = ("busy", "other", "memory"),
+    title: str = None,
+    width: int = 50,
+) -> str:
+    """Stacked horizontal bars (the Busy/Other/Memory breakdown of the
+    paper's execution-time figures), one character class per segment."""
+    if len(labels) != len(segments):
+        raise ValueError("labels and segments must have equal length")
+    glyphs = ("#", "+", ".")
+    peak = max(sum(s) for s in segments) or 1.0
+    label_width = max(len(l) for l in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{g}={n}" for g, n in zip(glyphs, segment_names))
+    lines.append(f"[{legend}]")
+    for label, parts in zip(labels, segments):
+        bar = ""
+        for glyph, part in zip(glyphs, parts):
+            bar += glyph * int(round(part / peak * width))
+        total = sum(parts)
+        lines.append(f"{label.ljust(label_width)} {total:8.2f} {bar}")
+    return "\n".join(lines)
+
+
+def sparkline_series(
+    xs: Sequence[int],
+    ys: Sequence[float],
+    title: str = None,
+    height: int = 8,
+    width: int = 80,
+    y_cap: float = None,
+) -> str:
+    """Compact line plot for the stride sweeps (Figures 5-6).
+
+    Values are bucketed onto a ``width``-column grid; ``y_cap`` clips
+    the vertical axis the way the paper caps balance plots at 10.
+    """
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    cap = y_cap if y_cap is not None else max(ys)
+    cap = cap or 1.0
+    clipped = [min(y, cap) for y in ys]
+    # Average y per column bucket.
+    buckets: List[List[float]] = [[] for _ in range(width)]
+    x_min, x_max = min(xs), max(xs)
+    span = max(1, x_max - x_min)
+    for x, y in zip(xs, clipped):
+        col = min(width - 1, (x - x_min) * width // span)
+        buckets[col].append(y)
+    cols = [sum(b) / len(b) if b else None for b in buckets]
+    grid = [[" "] * width for _ in range(height)]
+    for col, value in enumerate(cols):
+        if value is None:
+            continue
+        row = min(height - 1, int(value / cap * (height - 1) + 0.5))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{cap:8.2f} ┐")
+    for row in grid:
+        lines.append("         |" + "".join(row))
+    lines.append("         └" + "─" * width)
+    lines.append(f"          stride {x_min} .. {x_max}")
+    return "\n".join(lines)

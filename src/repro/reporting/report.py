@@ -1,0 +1,91 @@
+"""One-shot markdown report over a complete evaluation.
+
+``full_report`` renders every simulation-backed table and figure from a
+(pre-populated or lazily-filled) ResultStore into a single markdown
+document — the machine-generated counterpart of EXPERIMENTS.md:
+
+    python -m repro.reporting.report --scale 0.5 > report.md
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import (
+    fragmentation,
+    machine,
+    miss_reduction,
+    multi_hash,
+    qualitative,
+    single_hash,
+    summary,
+)
+from repro.experiments.common import ResultStore, RunConfig, standard_argparser
+from repro.workloads import NONUNIFORM_APPS, UNIFORM_APPS
+
+
+def _code_block(text: str) -> str:
+    return "```\n" + text + "\n```"
+
+
+def full_report(store: ResultStore) -> str:
+    """Markdown report of Tables 1-4 and the Figure 7-12 summaries."""
+    config = store.config
+    sections: List[str] = [
+        "# Prime-number cache indexing — evaluation report",
+        f"Trace scale {config.scale}, seed {config.seed}, "
+        f"skewed replacement `{config.skew_replacement}`.",
+        "## Table 1 — fragmentation",
+        _code_block(fragmentation.render(fragmentation.run())),
+        "## Table 2 — hashing-function properties (measured)",
+        _code_block(qualitative.render(qualitative.run())),
+        "## Table 3 — machine parameters",
+        _code_block(machine.render()),
+    ]
+
+    fig7 = single_hash.build_figure(
+        "Figure 7 (non-uniform apps)", NONUNIFORM_APPS,
+        single_hash.SINGLE_HASH_SCHEMES, store)
+    fig8 = single_hash.build_figure(
+        "Figure 8 (uniform apps)", UNIFORM_APPS,
+        single_hash.SINGLE_HASH_SCHEMES, store)
+    fig9 = single_hash.build_figure(
+        "Figure 9 (non-uniform apps)", NONUNIFORM_APPS,
+        multi_hash.MULTI_HASH_SCHEMES, store)
+    fig10 = single_hash.build_figure(
+        "Figure 10 (uniform apps)", UNIFORM_APPS,
+        multi_hash.MULTI_HASH_SCHEMES, store)
+    for figure in (fig7, fig8, fig9, fig10):
+        sections.append(f"## {figure.title}")
+        sections.append(_code_block(single_hash.render(figure)))
+
+    fig11 = miss_reduction.build_figure(
+        "Figure 11 (non-uniform apps)", NONUNIFORM_APPS, store)
+    fig12 = miss_reduction.build_figure(
+        "Figure 12 (uniform apps)", UNIFORM_APPS, store)
+    for figure in (fig11, fig12):
+        sections.append(f"## {figure.title}")
+        sections.append(_code_block(miss_reduction.render(figure)))
+
+    sections.append("## Table 4 — summary")
+    sections.append(_code_block(summary.render(summary.run(config, store))))
+    return "\n\n".join(sections) + "\n"
+
+
+def main() -> None:
+    parser = standard_argparser(__doc__)
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="persist simulation results under DIR so "
+                             "re-runs are instant")
+    args = parser.parse_args()
+    config = RunConfig(scale=args.scale, seed=args.seed)
+    if args.cache:
+        from repro.experiments.diskcache import CachedResultStore
+        store = CachedResultStore(config, cache_dir=args.cache)
+    else:
+        store = ResultStore(config)
+    print(full_report(store))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = None,
+    align_first_left: bool = True,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted
+    by the caller so each experiment controls its own precision.
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    text_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0 and align_first_left:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(fmt_row([str(h) for h in headers]))
+    lines.append(separator)
+    lines.extend(fmt_row(row) for row in text_rows)
+    lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Trace persistence: compressed numpy archives and Dinero text traces.
+
+Two formats:
+
+* **npz** — the native format: addresses, write mask, and the CPU
+  metadata, round-tripped losslessly.  Use this to cache generated
+  workload traces between runs.
+* **Dinero** — the classic ``label address`` text format of Dinero IV
+  (label 0 = read, 1 = write, 2 = instruction fetch; addresses in hex).
+  Reading it lets real program traces drive the simulator; writing it
+  lets our synthetic workloads drive other cache simulators.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.trace.records import Trace, TraceMetadata
+
+_DINERO_READ = 0
+_DINERO_WRITE = 1
+_DINERO_IFETCH = 2
+
+
+def save_trace_npz(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    """Write a trace (and its metadata) to a compressed .npz archive."""
+    np.savez_compressed(
+        path,
+        addresses=trace.addresses,
+        is_write=trace.is_write,
+        name=np.array(trace.name),
+        instructions_per_access=np.array(trace.meta.instructions_per_access),
+        mispredicts_per_kaccess=np.array(trace.meta.mispredicts_per_kaccess),
+        mlp=np.array(trace.meta.mlp),
+    )
+
+
+def load_trace_npz(path: Union[str, os.PathLike]) -> Trace:
+    """Read a trace written by :func:`save_trace_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = TraceMetadata(
+            instructions_per_access=float(data["instructions_per_access"]),
+            mispredicts_per_kaccess=float(data["mispredicts_per_kaccess"]),
+            mlp=float(data["mlp"]),
+        )
+        return Trace(
+            name=str(data["name"]),
+            addresses=data["addresses"],
+            is_write=data["is_write"],
+            meta=meta,
+        )
+
+
+def write_dinero(trace: Trace, stream: TextIO) -> int:
+    """Write the trace in Dinero 'label address' format; returns the
+    number of records written.  Instruction fetches are not modeled, so
+    only labels 0 (read) and 1 (write) are produced."""
+    count = 0
+    for address, is_write in zip(trace.addresses, trace.is_write):
+        label = _DINERO_WRITE if is_write else _DINERO_READ
+        stream.write(f"{label} {int(address):x}\n")
+        count += 1
+    return count
+
+
+def read_dinero(stream: TextIO, name: str = "dinero",
+                meta: TraceMetadata = None,
+                include_ifetch: bool = False) -> Trace:
+    """Parse a Dinero 'label address' stream into a Trace.
+
+    Unknown labels and malformed lines raise ValueError with the line
+    number; instruction fetches (label 2) are skipped unless
+    ``include_ifetch`` (in which case they count as reads).
+    """
+    addresses = []
+    writes = []
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"line {lineno}: expected 'label address', "
+                             f"got {line!r}")
+        try:
+            label = int(parts[0])
+            address = int(parts[1], 16)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from None
+        if label == _DINERO_IFETCH:
+            if not include_ifetch:
+                continue
+            label = _DINERO_READ
+        if label not in (_DINERO_READ, _DINERO_WRITE):
+            raise ValueError(f"line {lineno}: unknown label {label}")
+        if address < 0:
+            raise ValueError(f"line {lineno}: negative address")
+        addresses.append(address)
+        writes.append(label == _DINERO_WRITE)
+    if not addresses:
+        raise ValueError("trace stream contained no records")
+    return Trace(
+        name=name,
+        addresses=np.asarray(addresses, dtype=np.uint64),
+        is_write=np.asarray(writes, dtype=bool),
+        meta=meta or TraceMetadata(),
+    )

@@ -1,0 +1,79 @@
+"""Memory-trace containers used by the simulator and workload models.
+
+A :class:`Trace` is a dense array of byte addresses plus a write mask
+and per-workload CPU metadata.  The metadata carries the non-memory
+behavior the trace-driven timing model needs: how much computation sits
+between memory accesses, how often branches mispredict, and how much
+memory-level parallelism the code exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """CPU-side characteristics of a workload.
+
+    Attributes:
+        instructions_per_access: dynamic instructions per memory access
+            (drives busy cycles).
+        mispredicts_per_kaccess: branch mispredictions per 1000 memory
+            accesses (drives "other stalls" via the branch penalty).
+        mlp: average number of overlappable outstanding misses, >= 1
+            (bounded by the machine's pending-load limit; divides the
+            exposed memory latency).
+    """
+
+    instructions_per_access: float = 4.0
+    mispredicts_per_kaccess: float = 5.0
+    mlp: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.instructions_per_access <= 0:
+            raise ValueError("instructions_per_access must be positive")
+        if self.mispredicts_per_kaccess < 0:
+            raise ValueError("mispredicts_per_kaccess cannot be negative")
+        if self.mlp < 1.0:
+            raise ValueError("mlp must be at least 1 (no negative overlap)")
+
+
+@dataclass
+class Trace:
+    """A complete memory trace for one workload run."""
+
+    name: str
+    addresses: np.ndarray                 #: byte addresses, uint64
+    is_write: np.ndarray                  #: bool mask, same length
+    meta: TraceMetadata = field(default_factory=TraceMetadata)
+
+    def __post_init__(self) -> None:
+        self.addresses = np.ascontiguousarray(self.addresses, dtype=np.uint64)
+        self.is_write = np.ascontiguousarray(self.is_write, dtype=bool)
+        if self.addresses.shape != self.is_write.shape:
+            raise ValueError("addresses and is_write must have equal length")
+        if self.addresses.ndim != 1:
+            raise ValueError("a trace is one-dimensional")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def write_fraction(self) -> float:
+        return float(self.is_write.mean()) if len(self) else 0.0
+
+    def block_addresses(self, block_bytes: int) -> np.ndarray:
+        """Addresses at cache-block granularity."""
+        shift = np.uint64(int(block_bytes).bit_length() - 1)
+        if (1 << int(shift)) != block_bytes:
+            raise ValueError("block size must be a power of two")
+        return self.addresses >> shift
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, accesses={len(self)}, "
+            f"writes={self.write_fraction:.0%})"
+        )

@@ -1,0 +1,17 @@
+"""Virtual memory: page allocation policies and address translation."""
+
+from repro.vm.translation import (
+    ColoringAllocator,
+    PageAllocator,
+    RandomAllocator,
+    SequentialAllocator,
+    VirtualMemory,
+)
+
+__all__ = [
+    "ColoringAllocator",
+    "PageAllocator",
+    "RandomAllocator",
+    "SequentialAllocator",
+    "VirtualMemory",
+]

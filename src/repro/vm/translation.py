@@ -1,0 +1,158 @@
+"""Virtual-to-physical translation with pluggable page allocation.
+
+The L2 the paper rehashes is physically indexed, so the OS page
+allocator stands between a program's virtual access pattern and the
+cache sets it actually fights over.  Three allocation policies bound
+the design space:
+
+* :class:`SequentialAllocator` — physical pages handed out in first-
+  touch order: virtual contiguity becomes physical contiguity (the
+  most conflict-friendly case, and what trace-driven studies
+  implicitly assume).
+* :class:`RandomAllocator` — each virtual page lands on a uniformly
+  random free physical page (a freshly booted, fragmented, or
+  security-hardened allocator).
+* :class:`ColoringAllocator` — classic page coloring: the allocator
+  preserves the page-color bits (the page-number bits that reach the
+  cache index), as Kessler & Hill's careful-placement policies do.
+
+The page-allocation experiment uses these to ask which of the paper's
+conflict patterns survive OS randomization: offset-driven crowding
+(tree's arena allocation) does — the crowded index bits live *below*
+the page boundary — while pitch-driven column conflicts (bt) require
+physically contiguous arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+from repro.mathutil import log2_exact
+from repro.trace.records import Trace
+
+
+class PageAllocator(abc.ABC):
+    """Assigns physical page numbers to first-touched virtual pages."""
+
+    def __init__(self, n_physical_pages: int):
+        if n_physical_pages < 1:
+            raise ValueError("need at least one physical page")
+        self.n_physical_pages = n_physical_pages
+
+    @abc.abstractmethod
+    def allocate(self, virtual_page: int) -> int:
+        """Physical page for a newly touched virtual page."""
+
+
+class SequentialAllocator(PageAllocator):
+    """First-touch order: the i-th new page gets physical page i."""
+
+    def __init__(self, n_physical_pages: int):
+        super().__init__(n_physical_pages)
+        self._next = 0
+
+    def allocate(self, virtual_page: int) -> int:
+        if self._next >= self.n_physical_pages:
+            raise MemoryError("out of physical pages")
+        page = self._next
+        self._next += 1
+        return page
+
+
+class RandomAllocator(PageAllocator):
+    """Uniformly random free physical page (deterministic seed)."""
+
+    def __init__(self, n_physical_pages: int, seed: int = 0):
+        super().__init__(n_physical_pages)
+        rng = np.random.default_rng(seed)
+        self._free = rng.permutation(n_physical_pages).tolist()
+
+    def allocate(self, virtual_page: int) -> int:
+        if not self._free:
+            raise MemoryError("out of physical pages")
+        return int(self._free.pop())
+
+
+class ColoringAllocator(PageAllocator):
+    """Page coloring: keep the low ``color_bits`` of the page number.
+
+    Within each color, pages are handed out in first-touch order, so
+    virtual pages of equal color stay on equal-color physical pages —
+    preserving exactly the index bits the cache sees.
+    """
+
+    def __init__(self, n_physical_pages: int, color_bits: int):
+        super().__init__(n_physical_pages)
+        if color_bits < 0:
+            raise ValueError("color_bits cannot be negative")
+        n_colors = 1 << color_bits
+        if n_colors > n_physical_pages:
+            raise ValueError("more colors than physical pages")
+        self.n_colors = n_colors
+        self._next_per_color: Dict[int, int] = {}
+
+    def allocate(self, virtual_page: int) -> int:
+        color = virtual_page % self.n_colors
+        index = self._next_per_color.get(color, 0)
+        page = index * self.n_colors + color
+        if page >= self.n_physical_pages:
+            raise MemoryError(f"out of pages of color {color}")
+        self._next_per_color[color] = index + 1
+        return page
+
+
+class VirtualMemory:
+    """First-touch page table over a chosen allocator."""
+
+    def __init__(self, allocator: PageAllocator, page_bytes: int = 4096):
+        self.allocator = allocator
+        self.page_bytes = page_bytes
+        self.page_bits = log2_exact(page_bytes)
+        self._page_table: Dict[int, int] = {}
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._page_table)
+
+    def translate(self, virtual_address: int) -> int:
+        """Physical address for one virtual address (allocate on miss)."""
+        if virtual_address < 0:
+            raise ValueError("address must be non-negative")
+        vpn = virtual_address >> self.page_bits
+        ppn = self._page_table.get(vpn)
+        if ppn is None:
+            ppn = self.allocator.allocate(vpn)
+            self._page_table[vpn] = ppn
+        return (ppn << self.page_bits) | (
+            virtual_address & (self.page_bytes - 1)
+        )
+
+    def translate_trace(self, trace: Trace) -> Trace:
+        """A physically addressed copy of a virtual trace.
+
+        First-touch order follows the trace; the page table persists on
+        the instance, so translating a second trace models a second
+        phase of the same process.
+        """
+        page_bits = np.uint64(self.page_bits)
+        offset_mask = np.uint64(self.page_bytes - 1)
+        vpns = (trace.addresses >> page_bits).tolist()
+        table = self._page_table
+        allocate = self.allocator.allocate
+        ppns = np.empty(len(vpns), dtype=np.uint64)
+        for i, vpn in enumerate(vpns):
+            ppn = table.get(vpn)
+            if ppn is None:
+                ppn = allocate(vpn)
+                table[vpn] = ppn
+            ppns[i] = ppn
+        physical = (ppns << page_bits) | (trace.addresses & offset_mask)
+        return Trace(
+            name=f"{trace.name}@phys",
+            addresses=physical,
+            is_write=trace.is_write.copy(),
+            meta=trace.meta,
+        )

@@ -1,0 +1,27 @@
+"""Synthetic models of the paper's 23 memory-intensive applications.
+
+Importing this package registers every workload; use
+:func:`get_workload` / :func:`all_workload_names` to enumerate them,
+and the :data:`NONUNIFORM_APPS` / :data:`UNIFORM_APPS` tuples for the
+paper's Section 4 classification.
+"""
+
+from repro.workloads import nas, olden, scientific, spec_fp, spec_int  # noqa: F401
+from repro.workloads.base import (
+    NONUNIFORM_APPS,
+    UNIFORM_APPS,
+    Workload,
+    all_workload_names,
+    get_workload,
+)
+from repro.workloads.custom import COMPONENT_KINDS, CompositeWorkload
+
+__all__ = [
+    "COMPONENT_KINDS",
+    "CompositeWorkload",
+    "NONUNIFORM_APPS",
+    "UNIFORM_APPS",
+    "Workload",
+    "all_workload_names",
+    "get_workload",
+]

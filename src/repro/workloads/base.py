@@ -1,0 +1,93 @@
+"""Workload interface and registry.
+
+Each of the paper's 23 applications is modeled as a :class:`Workload`
+producing a deterministic synthetic :class:`~repro.trace.records.Trace`
+whose L2 set-access histogram and stride spectrum match the published
+behavior of that application (see DESIGN.md §4 for the substitution
+rationale).  The paper's classification — which applications have
+non-uniform cache accesses — is encoded in ``expected_non_uniform`` and
+*verified* against the generated traces by the test suite.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List
+
+from repro.trace.records import Trace, TraceMetadata
+
+#: The 7 applications the paper classifies as having non-uniform L2
+#: set accesses (Section 4).
+NONUNIFORM_APPS = ("bt", "cg", "ft", "irr", "mcf", "sp", "tree")
+
+#: The remaining 16 applications (uniform accesses).
+UNIFORM_APPS = (
+    "applu", "bzip2", "charmm", "equake", "euler", "gap", "is", "lu",
+    "mgrid", "moldyn", "mst", "nbf", "parser", "sparse", "swim", "tomcatv",
+)
+
+
+class Workload(abc.ABC):
+    """A synthetic stand-in for one of the paper's applications.
+
+    Attributes:
+        name: application name as used in the paper's figures.
+        suite: source suite (``specint``, ``specfp``, ``nas``, ``olden``,
+            ``scientific``).
+        expected_non_uniform: the paper's Section 4 classification.
+        description: one-line summary of the modeled access behavior.
+    """
+
+    name: str = "abstract"
+    suite: str = "unknown"
+    expected_non_uniform: bool = False
+    description: str = ""
+
+    #: Default number of memory accesses at scale=1.0.
+    base_length: int = 120_000
+
+    def metadata(self) -> TraceMetadata:
+        """CPU-side characteristics; override per workload."""
+        return TraceMetadata()
+
+    @abc.abstractmethod
+    def generate(self, n_accesses: int, seed: int):
+        """Return (addresses, is_write) arrays of length ~n_accesses."""
+
+    def trace(self, scale: float = 1.0, seed: int = 0) -> Trace:
+        """Build the trace at ``scale`` times the default length."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        n = max(1000, int(self.base_length * scale))
+        addresses, is_write = self.generate(n, seed)
+        return Trace(self.name, addresses, is_write, self.metadata())
+
+    def __repr__(self) -> str:
+        kind = "non-uniform" if self.expected_non_uniform else "uniform"
+        return f"{type(self).__name__}(name={self.name!r}, {kind})"
+
+
+_REGISTRY: Dict[str, Callable[[], Workload]] = {}
+
+
+def register_workload(cls):
+    """Class decorator adding a workload to the registry."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate workload name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a registered workload by paper name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return cls()
+
+
+def all_workload_names() -> List[str]:
+    """All 23 registered application names, sorted."""
+    return sorted(_REGISTRY)

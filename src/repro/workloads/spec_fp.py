@@ -1,0 +1,177 @@
+"""SPECfp models: applu, mgrid, swim, equake, tomcatv.
+
+All five are uniform: dense unit-stride sweeps (the case traditional
+indexing already handles perfectly) plus an L2-resident hot component
+— coefficient arrays, coarse multigrid levels, the shared vector of a
+sparse solve.  The hot components give the pseudo-LRU skewed caches
+something to lose, reproducing the up-to-20% miss inflation of
+Figure 12 (mgrid, swim, tomcatv) without affecting pMod/pDisp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.records import TraceMetadata
+from repro.trace.synthetic import strided_stream, write_mask
+from repro.workloads.base import Workload, register_workload
+from repro.workloads.patterns import (
+    L2_BLOCK,
+    chunked_interleave,
+    cyclic_sweep,
+    shuffled_cycles,
+    streaming_arrays,
+)
+
+
+def _resident_cycle(n_blocks: int, count: int, base: int) -> np.ndarray:
+    """In-order cyclic reuse of an L2-resident footprint."""
+    repeats = max(1, count // n_blocks)
+    return cyclic_sweep(n_blocks, repeats, base=base)
+
+
+@register_workload
+class Swim(Workload):
+    """SPECfp swim: shallow-water finite differences.
+
+    Four multi-megabyte unit-stride streams plus resident boundary/
+    coefficient arrays revisited every sweep.
+    """
+
+    name = "swim"
+    suite = "specfp"
+    expected_non_uniform = False
+    description = "unit-stride stencil streams + resident coefficients"
+
+    def metadata(self) -> TraceMetadata:
+        return TraceMetadata(instructions_per_access=7.0,
+                             mispredicts_per_kaccess=1.5, mlp=5.0)
+
+    def generate(self, n_accesses: int, seed: int):
+        n_stream = int(n_accesses * 0.7)
+        streams = streaming_arrays(4, 1536 * 1024, n_stream, base=1 << 24)
+        hot = _resident_cycle(2048, n_accesses - n_stream, base=1 << 28)
+        addresses = chunked_interleave([streams, hot], chunk=256)
+        return addresses[:n_accesses], write_mask(
+            min(len(addresses), n_accesses), 0.3, seed + 1
+        )
+
+
+@register_workload
+class Tomcatv(Workload):
+    """SPECfp95 tomcatv: vectorized mesh generation.
+
+    Row sweeps over seven mesh arrays with odd element strides plus a
+    resident residual array.
+    """
+
+    name = "tomcatv"
+    suite = "specfp"
+    expected_non_uniform = False
+    description = "odd-stride mesh sweeps + resident residuals"
+
+    def metadata(self) -> TraceMetadata:
+        return TraceMetadata(instructions_per_access=6.5,
+                             mispredicts_per_kaccess=1.5, mlp=4.0)
+
+    def generate(self, n_accesses: int, seed: int):
+        n_stream = int(n_accesses * 0.65)
+        streams = streaming_arrays(7, 1024 * 1024, n_stream, base=1 << 24)
+        hot = _resident_cycle(2048, n_accesses - n_stream, base=1 << 28)
+        addresses = chunked_interleave([streams, hot], chunk=224)
+        return addresses[:n_accesses], write_mask(
+            min(len(addresses), n_accesses), 0.25, seed + 1
+        )
+
+
+@register_workload
+class Mgrid(Workload):
+    """SPECfp mgrid: multigrid V-cycles.
+
+    The fine grid streams, but the coarse levels (a few hundred KB
+    total) stay resident and are re-swept every cycle — the deepest
+    LRU-friendly reuse among the FP codes, and the application
+    skw+pDisp slows the most (7%) in the paper.
+    """
+
+    name = "mgrid"
+    suite = "specfp"
+    expected_non_uniform = False
+    description = "streaming fine grid + resident coarse grids"
+
+    def metadata(self) -> TraceMetadata:
+        return TraceMetadata(instructions_per_access=8.0,
+                             mispredicts_per_kaccess=1.5, mlp=3.5)
+
+    def generate(self, n_accesses: int, seed: int):
+        n_fine = int(n_accesses * 0.45)
+        fine = streaming_arrays(2, 3 * 1024 * 1024, n_fine, base=1 << 24)
+        n_coarse = n_accesses - n_fine
+        level1 = _resident_cycle(4096, int(n_coarse * 0.5), base=1 << 28)
+        level2 = _resident_cycle(2048, int(n_coarse * 0.3), base=1 << 29)
+        level3 = cyclic_sweep(
+            1024,
+            max(1, (n_coarse - len(level1) - len(level2)) // 1024),
+            base=(1 << 29) + (1 << 26),
+            stride_blocks=2,  # even coverage of half the sets
+        )
+        addresses = chunked_interleave([fine, level1, level2, level3],
+                                       chunk=250)
+        return addresses[:n_accesses], write_mask(
+            min(len(addresses), n_accesses), 0.3, seed + 1
+        )
+
+
+@register_workload
+class Applu(Workload):
+    """SPECfp applu: parabolic/elliptic PDE solver (SSOR).
+
+    Five large solution/residual arrays swept with unit stride, plus a
+    small resident coefficient block.
+    """
+
+    name = "applu"
+    suite = "specfp"
+    expected_non_uniform = False
+    description = "five-array SSOR sweeps + resident coefficients"
+
+    def metadata(self) -> TraceMetadata:
+        return TraceMetadata(instructions_per_access=9.0,
+                             mispredicts_per_kaccess=2.0, mlp=3.0)
+
+    def generate(self, n_accesses: int, seed: int):
+        n_stream = int(n_accesses * 0.8)
+        streams = streaming_arrays(5, 1024 * 1024, n_stream, base=1 << 24)
+        hot = _resident_cycle(2048, n_accesses - n_stream, base=1 << 28)
+        addresses = chunked_interleave([streams, hot], chunk=320)
+        return addresses[:n_accesses], write_mask(
+            min(len(addresses), n_accesses), 0.3, seed + 1
+        )
+
+
+@register_workload
+class Equake(Workload):
+    """SPECfp equake: earthquake FE simulation.
+
+    Streaming CSR matrix arrays with an indexed gather into the
+    L2-resident displacement vectors.
+    """
+
+    name = "equake"
+    suite = "specfp"
+    expected_non_uniform = False
+    description = "CSR streaming + resident displacement-vector gather"
+
+    def metadata(self) -> TraceMetadata:
+        return TraceMetadata(instructions_per_access=5.5,
+                             mispredicts_per_kaccess=4.0, mlp=2.5)
+
+    def generate(self, n_accesses: int, seed: int):
+        n_csr = int(n_accesses * 0.6)
+        csr = streaming_arrays(3, 2 * 1024 * 1024, n_csr, base=1 << 24)
+        gather = shuffled_cycles(4096, n_accesses - n_csr, seed=seed,
+                                 base=1 << 28)
+        addresses = chunked_interleave([csr, gather], chunk=192)
+        return addresses[:n_accesses], write_mask(
+            min(len(addresses), n_accesses), 0.2, seed + 1
+        )

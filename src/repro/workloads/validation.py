@@ -1,0 +1,90 @@
+"""Workload sanity validation.
+
+``validate_workload`` runs the checks every registered workload must
+satisfy — determinism, length scaling, bounded addresses, sane write
+mix, valid metadata — and returns a structured report.  The test suite
+applies it to all 23 paper models, and users get the same gate for
+their :class:`~repro.workloads.custom.CompositeWorkload` definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+#: Address-space ceiling: generators stay within 48-bit physical space.
+MAX_ADDRESS = 1 << 48
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one workload."""
+
+    workload: str
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"{self.workload}: OK"
+        issues = "; ".join(self.problems)
+        return f"{self.workload}: {issues}"
+
+
+def validate_workload(workload: Workload, scale: float = 0.05,
+                      seed: int = 0) -> ValidationReport:
+    """Run the standard sanity checks on one workload."""
+    report = ValidationReport(workload.name)
+    problems = report.problems
+
+    try:
+        meta = workload.metadata()
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        problems.append(f"metadata() raised {exc!r}")
+        return report
+    if meta.instructions_per_access <= 0 or meta.mlp < 1.0:
+        problems.append("metadata out of range")
+
+    try:
+        first = workload.trace(scale=scale, seed=seed)
+    except Exception as exc:  # noqa: BLE001
+        problems.append(f"trace() raised {exc!r}")
+        return report
+
+    if len(first) == 0:
+        problems.append("empty trace")
+        return report
+    if int(first.addresses.max()) >= MAX_ADDRESS:
+        problems.append("addresses exceed 48-bit space")
+    if not 0.0 < first.write_fraction < 0.8:
+        problems.append(
+            f"write fraction {first.write_fraction:.2f} outside (0, 0.8)"
+        )
+
+    second = workload.trace(scale=scale, seed=seed)
+    if not (np.array_equal(first.addresses, second.addresses)
+            and np.array_equal(first.is_write, second.is_write)):
+        problems.append("trace not deterministic for fixed seed")
+
+    other_seed = workload.trace(scale=scale, seed=seed + 1)
+    if (np.array_equal(first.addresses, other_seed.addresses)
+            and np.array_equal(first.is_write, other_seed.is_write)):
+        problems.append("trace ignores the seed")
+
+    larger = workload.trace(scale=scale * 3, seed=seed)
+    if len(larger) <= len(first):
+        problems.append("trace length does not scale")
+
+    return report
+
+
+def validate_all(workloads, scale: float = 0.05) -> List[ValidationReport]:
+    """Validate a collection of workloads; returns one report each."""
+    return [validate_workload(w, scale=scale) for w in workloads]

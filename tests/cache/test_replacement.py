@@ -1,0 +1,121 @@
+"""Tests for the per-set replacement policies."""
+
+import pytest
+
+from repro.cache import (
+    FIFOPolicy,
+    LRUPolicy,
+    NRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_replacement,
+)
+
+
+class TestMakeReplacement:
+    def test_known_keys(self):
+        for key in ("lru", "plru", "nru", "fifo", "random"):
+            assert make_replacement(key, 4, 4).assoc == 4
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown replacement"):
+            make_replacement("belady", 4, 4)
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0, 4)
+        with pytest.raises(ValueError):
+            LRUPolicy(4, 0)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        lru = LRUPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            lru.on_fill(0, way)
+        lru.on_hit(0, 0)
+        assert lru.victim(0) == 1
+
+    def test_sets_are_independent(self):
+        lru = LRUPolicy(2, 2)
+        lru.on_hit(0, 1)
+        assert lru.victim(1) == 0
+
+    def test_full_access_cycle(self):
+        lru = LRUPolicy(1, 3)
+        lru.on_fill(0, 0)
+        lru.on_fill(0, 1)
+        lru.on_fill(0, 2)
+        assert lru.victim(0) == 0
+        lru.on_hit(0, 0)
+        assert lru.victim(0) == 1
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePLRUPolicy(1, 3)
+
+    def test_victim_avoids_recent(self):
+        plru = TreePLRUPolicy(1, 4)
+        plru.on_hit(0, 2)
+        assert plru.victim(0) != 2
+
+    def test_round_robin_like_coverage(self):
+        """Touching each victim in turn must cycle through all ways."""
+        plru = TreePLRUPolicy(1, 8)
+        seen = set()
+        for _ in range(8):
+            v = plru.victim(0)
+            seen.add(v)
+            plru.on_fill(0, v)
+        assert seen == set(range(8))
+
+    def test_direct_mapped_degenerate(self):
+        plru = TreePLRUPolicy(1, 1)
+        plru.on_hit(0, 0)
+        assert plru.victim(0) == 0
+
+
+class TestNRU:
+    def test_prefers_unreferenced(self):
+        nru = NRUPolicy(1, 4)
+        nru.on_fill(0, 0)
+        nru.on_fill(0, 1)
+        assert nru.victim(0) == 2
+
+    def test_clears_when_all_referenced(self):
+        nru = NRUPolicy(1, 2)
+        nru.on_fill(0, 0)
+        nru.on_fill(0, 1)  # all marked -> sweep, keeping way 1
+        assert nru.victim(0) == 0
+
+
+class TestFIFO:
+    def test_ignores_hits(self):
+        fifo = FIFOPolicy(1, 2)
+        fifo.on_fill(0, 0)
+        fifo.on_hit(0, 1)  # no effect
+        assert fifo.victim(0) == 1
+
+    def test_cycles(self):
+        fifo = FIFOPolicy(1, 3)
+        for expected in (0, 1, 2, 0):
+            v = fifo.victim(0)
+            assert v == expected
+            fifo.on_fill(0, v)
+
+
+class TestRandom:
+    def test_deterministic_sequence(self):
+        a = RandomPolicy(1, 4)
+        b = RandomPolicy(1, 4)
+        assert [a.victim(0) for _ in range(20)] == [b.victim(0) for _ in range(20)]
+
+    def test_in_range(self):
+        rnd = RandomPolicy(1, 4)
+        assert all(0 <= rnd.victim(0) < 4 for _ in range(100))
+
+    def test_covers_all_ways(self):
+        rnd = RandomPolicy(1, 4)
+        assert {rnd.victim(0) for _ in range(200)} == {0, 1, 2, 3}

@@ -1,0 +1,129 @@
+"""Tests for the skewed associative and fully associative caches."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    FullyAssociativeCache,
+    SetAssociativeCache,
+    SkewedAssociativeCache,
+)
+from repro.hashing import (
+    SkewedPrimeDisplacementFamily,
+    SkewedXorFamily,
+    TraditionalIndexing,
+)
+
+
+class TestFullyAssociative:
+    def test_lru_over_whole_cache(self):
+        fa = FullyAssociativeCache(3)
+        for a in (1, 2, 3):
+            fa.access(a)
+        fa.access(1)          # refresh 1; LRU is now 2
+        result = fa.access(4)
+        assert result.victim_block == 2
+
+    def test_no_conflict_misses(self):
+        """Any footprint that fits incurs only compulsory misses."""
+        fa = FullyAssociativeCache(64)
+        footprint = [i * 4096 for i in range(64)]  # horrible for set-assoc
+        for _ in range(5):
+            for a in footprint:
+                fa.access(a)
+        assert fa.stats.misses == 64
+
+    def test_writeback_on_dirty_eviction(self):
+        fa = FullyAssociativeCache(1)
+        fa.access(1, is_write=True)
+        result = fa.access(2)
+        assert result.writeback and result.victim_block == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeCache(0)
+
+    def test_contains(self):
+        fa = FullyAssociativeCache(2)
+        fa.access(7)
+        assert fa.contains(7)
+        assert not fa.contains(8)
+
+
+class TestSkewedAssociative:
+    @pytest.fixture(params=["enru", "nrunrw"])
+    def cache(self, request):
+        return SkewedAssociativeCache(
+            SkewedPrimeDisplacementFamily(64, 4), replacement=request.param
+        )
+
+    def test_cold_miss_then_hit(self, cache):
+        assert not cache.access(1000).hit
+        assert cache.access(1000).hit
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError, match="unknown skewed replacement"):
+            SkewedAssociativeCache(SkewedXorFamily(64, 4), replacement="lru")
+
+    def test_capacity(self, cache):
+        assert cache.n_blocks == 256
+
+    def test_write_then_evict_writes_back(self):
+        """Fill one candidate frame dirty, then force eviction pressure."""
+        cache = SkewedAssociativeCache(SkewedXorFamily(16, 2))
+        cache.access(5, is_write=True)
+        # Saturate the cache so 5's frames get reclaimed eventually.
+        for a in range(6, 600):
+            cache.access(a)
+        assert cache.stats.writebacks >= 1
+
+    def test_skewing_beats_conventional_on_conflict_storm(self):
+        """Blocks that all collide in a 4-way conventional cache spread
+        across banks in a skewed cache: the motivating behavior."""
+        n_sets = 64
+        conventional = SetAssociativeCache(n_sets, 4, TraditionalIndexing(n_sets))
+        skewed = SkewedAssociativeCache(SkewedPrimeDisplacementFamily(n_sets, 4))
+        footprint = [i * n_sets for i in range(8)]  # 8 blocks, one set
+        for _ in range(50):
+            for a in footprint:
+                conventional.access(a)
+                skewed.access(a)
+        assert skewed.stats.misses < conventional.stats.misses
+
+    def test_stats_conserved(self, cache):
+        rng = np.random.default_rng(2)
+        n = 2000
+        for a in rng.integers(0, 5000, size=n):
+            cache.access(int(a))
+        s = cache.stats
+        assert s.hits + s.misses == n
+        assert s.set_accesses.sum() == n
+
+    def test_hit_refreshes_recency(self):
+        cache = SkewedAssociativeCache(SkewedXorFamily(16, 2), replacement="enru")
+        cache.access(3)
+        idx = cache.family.indices(3)
+        # The filled frame is marked recently used in whichever bank holds it.
+        assert any(
+            cache.recently_used[b][idx[b]] and cache.contains(3)
+            for b in range(2)
+        )
+
+    def test_nrunrw_prefers_clean_victims(self):
+        """With one dirty and one clean candidate, NRUNRW must evict the
+        clean one once RU bits tie."""
+        fam = SkewedXorFamily(4, 2)
+        cache = SkewedAssociativeCache(fam, replacement="nrunrw")
+        # Find three blocks with identical (bank0, bank1) index pairs.
+        target = fam.indices(0)
+        collisions = [a for a in range(4096) if fam.indices(a) == target]
+        a, b, c = collisions[:3]
+        cache.access(a, is_write=True)   # dirty
+        cache.access(b)                  # clean, fills the other bank
+        # Sweep RU bits so both candidates are cold.
+        for bank_ru in cache.recently_used:
+            for i in range(len(bank_ru)):
+                bank_ru[i] = False
+        result = cache.access(c)
+        assert result.victim_block == b  # the clean one
+        assert not result.writeback

@@ -1,0 +1,84 @@
+"""Tests for MachineConfig and the scheme factories."""
+
+import pytest
+
+from repro.cache import (
+    FullyAssociativeCache,
+    SetAssociativeCache,
+    SkewedAssociativeCache,
+)
+from repro.cpu import SCHEMES, MachineConfig, build_hierarchy, build_l2
+
+
+class TestMachineConfig:
+    def test_table3_geometry(self):
+        cfg = MachineConfig.paper_default()
+        assert cfg.l1_sets == 256      # 16KB / (32B * 2)
+        assert cfg.l2_sets == 2048     # 512KB / (64B * 4)
+        assert cfg.l2_blocks == 8192
+        assert cfg.issue_width == 6
+        assert cfg.branch_penalty == 12
+
+    def test_dram_config_latencies(self):
+        dram = MachineConfig.paper_default().dram_config()
+        assert dram.row_hit_cycles == 208
+        assert dram.row_miss_cycles == 243
+
+
+class TestBuildL2:
+    def test_all_schemes_construct(self):
+        for scheme in SCHEMES:
+            assert build_l2(scheme) is not None
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            build_l2("victim-cache")
+
+    def test_base_geometry(self):
+        l2 = build_l2("base")
+        assert isinstance(l2, SetAssociativeCache)
+        assert l2.n_sets_physical == 2048 and l2.assoc == 4
+
+    def test_8way_halves_sets(self):
+        l2 = build_l2("8way")
+        assert l2.n_sets_physical == 1024 and l2.assoc == 8
+        assert l2.n_blocks == build_l2("base").n_blocks  # same capacity
+
+    def test_pmod_uses_2039_sets(self):
+        assert build_l2("pmod").indexing.n_sets == 2039
+
+    def test_pdisp_constant(self):
+        assert build_l2("pdisp").indexing.displacement == 9
+
+    def test_skewed_variants(self):
+        skw = build_l2("skw")
+        assert isinstance(skw, SkewedAssociativeCache)
+        assert skw.n_banks == 4
+        spd = build_l2("skw+pdisp")
+        assert spd.family.displacements == (9, 19, 31, 37)
+
+    def test_skew_replacement_selectable(self):
+        l2 = build_l2("skw", skew_replacement="nrunrw")
+        assert type(l2.policy).__name__ == "NrunrwPolicy"
+
+    def test_fa_capacity(self):
+        fa = build_l2("fa")
+        assert isinstance(fa, FullyAssociativeCache)
+        assert fa.n_blocks == 8192
+
+    def test_all_same_capacity(self):
+        """Every scheme must model the same 512 KB of storage (the prime
+        modulo scheme wastes its fragmented sets internally)."""
+        for scheme in SCHEMES:
+            l2 = build_l2(scheme)
+            assert l2.n_blocks == 8192, scheme
+
+
+class TestBuildHierarchy:
+    def test_l1_is_traditional_256_sets(self):
+        h = build_hierarchy("pmod")
+        assert h.l1.n_sets_physical == 256
+        assert h.l1.indexing.name == "Base"
+
+    def test_l2_matches_scheme(self):
+        assert build_hierarchy("xor").l2.indexing.name == "XOR"

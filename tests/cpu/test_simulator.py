@@ -1,0 +1,104 @@
+"""Tests for the trace-driven timing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import MachineConfig, simulate_scheme
+from repro.trace import Trace, TraceMetadata, strided_stream, write_mask
+
+
+def make_trace(addresses, name="t", writes=None, **meta_kw):
+    addresses = np.asarray(addresses, dtype=np.uint64)
+    if writes is None:
+        writes = np.zeros(len(addresses), dtype=bool)
+    return Trace(name, addresses, writes, TraceMetadata(**meta_kw))
+
+
+class TestBusyAndStalls:
+    def test_busy_scales_with_instructions(self):
+        t1 = make_trace(strided_stream(0, 64, 1000), instructions_per_access=6)
+        t2 = make_trace(strided_stream(0, 64, 1000), instructions_per_access=12)
+        r1 = simulate_scheme(t1, "base")
+        r2 = simulate_scheme(t2, "base")
+        assert r2.busy == pytest.approx(2 * r1.busy)
+
+    def test_other_stalls_from_mispredicts(self):
+        t = make_trace(strided_stream(0, 64, 1000), mispredicts_per_kaccess=10)
+        r = simulate_scheme(t, "base")
+        # 1000 accesses * 10/1000 mispredicts * 12-cycle penalty
+        assert r.other_stalls == pytest.approx(120)
+
+    def test_l1_hits_are_free(self):
+        """Re-walking a tiny footprint: everything after warm-up hits L1
+        and contributes zero memory stall."""
+        warm = make_trace(strided_stream(0, 32, 16, repeats=100))
+        r = simulate_scheme(warm, "base")
+        cold = simulate_scheme(make_trace(strided_stream(0, 32, 16)), "base")
+        assert r.memory_stall == pytest.approx(cold.memory_stall)
+
+    def test_l2_hits_cost_exposed_fraction(self):
+        cfg = MachineConfig.paper_default()
+        # Footprint bigger than L1 (16KB) but within L2 (512KB).
+        sweep = strided_stream(0, 64, 1024, repeats=3)  # 64KB
+        r = simulate_scheme(make_trace(sweep), "base", cfg)
+        # After the cold sweep, L2 hits at 16 * 0.7 cycles each.
+        assert r.memory_stall > 1024 * cfg.l2_hit_cycles * cfg.l2_exposed_fraction
+
+    def test_memory_latency_divided_by_mlp(self):
+        sweep = strided_stream(0, 4096, 2000)  # all DRAM, no reuse
+        low = simulate_scheme(make_trace(sweep, mlp=1.0), "base")
+        high = simulate_scheme(make_trace(sweep, mlp=4.0), "base")
+        assert high.memory_stall < low.memory_stall
+        assert high.memory_stall == pytest.approx(low.memory_stall / 4, rel=0.25)
+
+    def test_mlp_clamped_to_pending_loads(self):
+        sweep = strided_stream(0, 4096, 500)
+        r8 = simulate_scheme(make_trace(sweep, mlp=8.0), "base")
+        r99 = simulate_scheme(make_trace(sweep, mlp=99.0), "base")
+        assert r8.memory_stall == pytest.approx(r99.memory_stall)
+
+
+class TestMissAccounting:
+    def test_l2_misses_reported(self):
+        sweep = strided_stream(0, 4096, 100)
+        r = simulate_scheme(make_trace(sweep), "base")
+        assert r.l2_misses == 100
+        assert r.l1_misses == 100
+
+    def test_row_behavior_reported(self):
+        sweep = strided_stream(0, 64, 5000)
+        r = simulate_scheme(make_trace(sweep), "base")
+        assert r.dram_row_hits + r.dram_row_misses >= r.l2_misses
+
+    def test_writes_tracked_through_hierarchy(self):
+        addrs = strided_stream(0, 64, 2000)
+        t = make_trace(addrs, writes=write_mask(2000, 0.5, seed=3))
+        r = simulate_scheme(t, "base")
+        assert r.l2_misses > 0
+
+
+class TestSpeedupAndNormalization:
+    def test_speedup_identity(self):
+        t = make_trace(strided_stream(0, 64, 500))
+        r = simulate_scheme(t, "base")
+        assert r.speedup_over(r) == 1.0
+
+    def test_pmod_beats_base_on_power_of_two_stride(self):
+        """The headline effect, end to end: a 128 KB-apart stream (same
+        traditional L2 set) thrashes Base but not pMod."""
+        conflicting = strided_stream(0, 2048 * 64, 32, repeats=80)
+        base = simulate_scheme(make_trace(conflicting, name="storm"), "base")
+        pmod = simulate_scheme(make_trace(conflicting, name="storm"), "pmod")
+        assert pmod.l2_misses < base.l2_misses / 4
+        assert pmod.speedup_over(base) > 1.3
+
+    def test_normalized_components_sum(self):
+        t = make_trace(strided_stream(0, 64, 500))
+        base = simulate_scheme(t, "base")
+        norm = base.normalized_to(base)
+        assert norm.total == pytest.approx(1.0)
+
+    def test_cycles_is_component_sum(self):
+        t = make_trace(strided_stream(0, 64, 500))
+        r = simulate_scheme(t, "base")
+        assert r.cycles == pytest.approx(r.busy + r.other_stalls + r.memory_stall)

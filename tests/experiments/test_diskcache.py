@@ -1,0 +1,47 @@
+"""Tests for the disk-backed result cache."""
+
+import pytest
+
+from repro.experiments.common import ResultStore, RunConfig
+from repro.experiments.diskcache import CachedResultStore
+
+CONFIG = RunConfig(scale=0.05)
+
+
+class TestCachedResultStore:
+    def test_first_run_simulates_and_persists(self, tmp_path):
+        store = CachedResultStore(CONFIG, cache_dir=tmp_path)
+        result = store.result("lu", "base")
+        assert store.disk_misses == 1
+        assert list(tmp_path.glob("*.json"))
+        assert result.l2_misses > 0
+
+    def test_second_store_reads_from_disk(self, tmp_path):
+        first = CachedResultStore(CONFIG, cache_dir=tmp_path)
+        original = first.result("lu", "base")
+        second = CachedResultStore(CONFIG, cache_dir=tmp_path)
+        reloaded = second.result("lu", "base")
+        assert second.disk_hits == 1
+        assert reloaded.l2_misses == original.l2_misses
+        assert reloaded.cycles == pytest.approx(original.cycles)
+
+    def test_matches_uncached_store(self, tmp_path):
+        cached = CachedResultStore(CONFIG, cache_dir=tmp_path)
+        plain = ResultStore(CONFIG)
+        a = cached.result("tree", "pmod")
+        b = plain.result("tree", "pmod")
+        assert a.l2_misses == b.l2_misses
+
+    def test_key_separates_configs(self, tmp_path):
+        a = CachedResultStore(RunConfig(scale=0.05), cache_dir=tmp_path)
+        b = CachedResultStore(RunConfig(scale=0.08), cache_dir=tmp_path)
+        a.result("lu", "base")
+        b.result("lu", "base")
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_memory_cache_still_works(self, tmp_path):
+        store = CachedResultStore(CONFIG, cache_dir=tmp_path)
+        first = store.result("lu", "base")
+        second = store.result("lu", "base")
+        assert first is second
+        assert store.disk_misses == 1

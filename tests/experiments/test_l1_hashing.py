@@ -1,0 +1,69 @@
+"""Tests for the L1-hashing experiment (paper Section 3.3 claim)."""
+
+import pytest
+
+from repro.experiments import l1_hashing
+from repro.experiments.common import RunConfig
+
+
+class TestExampleBalance:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.stride: r for r in l1_hashing.example_balance()}
+
+    def test_xor_degenerates_at_stride_15(self, rows):
+        """Paper: with s = 15 and 16 sets, XOR accesses 'sets 0, 15,
+        15, 15, ...' — a burst visible as bad short-window balance and
+        bad concentration."""
+        assert rows[15].balances["xor"] > 1.3
+        assert rows[15].concentrations["xor"] > 20
+        assert rows[15].balances["traditional"] < 1.1  # odd: Base ideal
+        assert rows[15].concentrations["traditional"] == 0.0
+
+    def test_xor_fails_at_factor_strides(self, rows):
+        """'a stride of 3 or 5 will also fail' (factors of 15)."""
+        assert rows[3].balances["xor"] > 1.1
+        assert rows[5].balances["xor"] > 1.1
+        assert rows[3].concentrations["xor"] > 10
+
+    def test_pmod_safe_at_the_same_strides(self, rows):
+        for stride in (1, 3, 5, 15, 16, 17):
+            assert rows[stride].balances["pmod"] < 1.2, stride
+            assert rows[stride].concentrations["pmod"] == 0.0, stride
+
+    def test_traditional_fails_only_on_even(self, rows):
+        assert rows[16].balances["traditional"] > 2
+        assert rows[17].balances["traditional"] < 1.1
+
+
+class TestHierarchyComparison:
+    def test_xor_l1_never_beats_traditional_on_dense_codes(self):
+        results = l1_hashing.l1_miss_comparison(
+            RunConfig(scale=0.15), apps=("swim", "lu"))
+        for app, by_key in results.items():
+            assert by_key["xor"] >= by_key["traditional"] * 0.98, app
+
+    def test_render(self):
+        rows = l1_hashing.example_balance()
+        misses = l1_hashing.l1_miss_comparison(RunConfig(scale=0.1),
+                                               apps=("lu",))
+        out = l1_hashing.render(rows, misses)
+        assert "16 sets" in out and "lu" in out
+
+
+class TestWarmup:
+    def test_warmup_removes_cold_misses(self):
+        from repro.cpu import simulate_scheme
+        from repro.workloads import get_workload
+        trace = get_workload("lu").trace(scale=0.1, seed=0)
+        cold = simulate_scheme(trace, "base")
+        warm = simulate_scheme(trace, "base", warmup_fraction=0.5)
+        assert warm.l2_misses < cold.l2_misses
+
+    def test_warmup_validation(self):
+        from repro.cpu import simulate_scheme
+        from repro.workloads import get_workload
+        trace = get_workload("lu").trace(scale=0.05, seed=0)
+        import pytest
+        with pytest.raises(ValueError):
+            simulate_scheme(trace, "base", warmup_fraction=1.0)

@@ -1,0 +1,37 @@
+"""Tests for the page-allocation experiment."""
+
+import pytest
+
+from repro.experiments import page_allocation
+from repro.experiments.common import RunConfig
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = page_allocation.run(workloads=("tree", "bt"),
+                               config=RunConfig(scale=0.25))
+    return {(r.workload, r.policy): r for r in rows}
+
+
+class TestPageAllocation:
+    def test_tree_gap_survives_every_policy(self, results):
+        """tree's crowding is offset-driven: OS-proof."""
+        for policy in ("sequential", "random", "colored"):
+            assert results[("tree", policy)].miss_ratio < 0.5, policy
+
+    def test_bt_gap_needs_color_preservation(self, results):
+        assert results[("bt", "colored")].miss_ratio < 0.85
+        assert results[("bt", "random")].miss_ratio > 0.95
+
+    def test_random_allocation_fixes_bt_for_base_too(self, results):
+        """Randomizing pages dissolves the pitch-aliased columns."""
+        assert results[("bt", "random")].base_misses < \
+            results[("bt", "colored")].base_misses
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            page_allocation.make_allocator("buddy", seed=0)
+
+    def test_render(self, results):
+        out = page_allocation.render(list(results.values()))
+        assert "tree" in out and "colored" in out

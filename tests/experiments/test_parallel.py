@@ -1,0 +1,35 @@
+"""Tests for the parallel simulation grid."""
+
+import pytest
+
+from repro.experiments.common import ResultStore, RunConfig
+from repro.experiments.parallel import parallel_store, run_grid_parallel
+
+CONFIG = RunConfig(scale=0.05)
+
+
+class TestParallelGrid:
+    def test_matches_serial_results(self):
+        workloads, schemes = ("lu", "tree"), ("base", "pmod")
+        parallel = run_grid_parallel(workloads, schemes, CONFIG,
+                                     max_workers=2)
+        serial = ResultStore(CONFIG)
+        for w in workloads:
+            for s in schemes:
+                p = parallel[(w, s)]
+                r = serial.result(w, s)
+                assert p.l2_misses == r.l2_misses, (w, s)
+                assert p.cycles == pytest.approx(r.cycles), (w, s)
+
+    def test_grid_is_complete(self):
+        results = run_grid_parallel(("lu",), ("base", "xor", "pmod"),
+                                    CONFIG, max_workers=2)
+        assert set(results) == {("lu", "base"), ("lu", "xor"), ("lu", "pmod")}
+
+    def test_parallel_store_serves_figures(self):
+        store = parallel_store(("lu", "bt"), ("base", "pmod"), CONFIG,
+                               max_workers=2)
+        # Pre-computed cells come from the grid...
+        assert store.speedup("bt", "pmod") > 1.0
+        # ...and cells outside it fall back to lazy serial simulation.
+        assert store.miss_ratio("lu", "xor") > 0

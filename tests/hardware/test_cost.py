@@ -1,0 +1,62 @@
+"""Tests for the hardware cost model."""
+
+from repro.hardware import (
+    prime_displacement_cost,
+    prime_modulo_iterative_cost,
+    prime_modulo_polynomial_cost,
+    traditional_cost,
+    xor_cost,
+)
+
+
+class TestCosts:
+    def test_traditional_is_free(self):
+        cost = traditional_cost(2048)
+        assert cost.adders == 0
+        assert cost.adder_stages == 0
+        assert not cost.width_dependent
+
+    def test_xor_is_one_gate_stage(self):
+        cost = xor_cost(2048)
+        assert cost.adders == 0
+        assert cost.adder_stages == 1
+
+    def test_pdisp_width_independent(self):
+        """Section 3.2: pDisp complexity is 'mostly independent of the
+        machine sizes'."""
+        cost = prime_displacement_cost(2048)
+        assert not cost.width_dependent
+        assert cost.adders == 2  # 9·T = T + (T << 3), plus x
+
+    def test_pdisp_cost_grows_with_popcount(self):
+        sparse = prime_displacement_cost(2048, displacement=9)    # 1001b
+        dense = prime_displacement_cost(2048, displacement=0b10101011)
+        assert dense.adders > sparse.adders
+
+    def test_polynomial_width_dependent(self):
+        c32 = prime_modulo_polynomial_cost(2048, address_bits=32)
+        c64 = prime_modulo_polynomial_cost(2048, address_bits=64)
+        assert c64.adders > c32.adders
+        assert c32.width_dependent
+
+    def test_polynomial_uses_two_input_selector(self):
+        assert prime_modulo_polynomial_cost(2048).selector_inputs == 2
+
+    def test_iterative_cheaper_hardware_than_polynomial_on_64bit(self):
+        """Section 3.1: iterative linear is 'more desirable for low
+        hardware budget' — fewer parallel adders, more stages."""
+        poly = prime_modulo_polynomial_cost(2048, address_bits=64)
+        iterative = prime_modulo_iterative_cost(2048, address_bits=64)
+        assert iterative.adder_stages >= poly.adder_stages
+
+    def test_polynomial_latency_smaller_when_delta_small(self):
+        """Section 3.1: polynomial allows smaller latency when Δ small."""
+        poly = prime_modulo_polynomial_cost(8192, address_bits=64)   # Δ=1
+        iterative = prime_modulo_iterative_cost(8192, address_bits=64)
+        assert poly.adder_stages <= iterative.adder_stages
+
+    def test_mersenne_polynomial_is_chunk_sum(self):
+        """Δ = 1 (Equation 5): each chunk contributes one addend."""
+        cost = prime_modulo_polynomial_cost(8192, address_bits=32, block_bytes=64)
+        # 26-bit block address, 13-bit chunks: x + t1 + fold marker.
+        assert cost.adders <= 3

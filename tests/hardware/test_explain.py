@@ -1,0 +1,34 @@
+"""Tests for the polynomial unit's explain() narration."""
+
+import numpy as np
+
+from repro.hardware import PolynomialModUnit
+
+
+class TestExplain:
+    def test_final_index_matches_compute(self):
+        unit = PolynomialModUnit(2048, address_bits=32, block_bytes=64)
+        rng = np.random.default_rng(9)
+        for addr in rng.integers(0, 2**26, size=50):
+            addr = int(addr)
+            lines = unit.explain(addr)
+            assert lines[-1].endswith(f"index {unit.compute(addr)}")
+
+    def test_mentions_geometry(self):
+        unit = PolynomialModUnit(2048)
+        lines = unit.explain(123456)
+        assert "Δ=9" in lines[0]
+        assert "n_set=2039" in lines[0]
+
+    def test_chunk_lines_present(self):
+        unit = PolynomialModUnit(2048, address_bits=32, block_bytes=64)
+        lines = unit.explain((1 << 25) | 12345)
+        assert any(l.strip().startswith("t1 =") for l in lines)
+        assert any(l.strip().startswith("t2 =") for l in lines)
+
+    def test_explain_does_not_disturb_compute_stats(self):
+        unit = PolynomialModUnit(2048)
+        unit.compute(99999)
+        stats_before = unit.last_stats
+        unit.explain(12345)
+        assert unit.last_stats is stats_before

@@ -1,0 +1,80 @@
+"""Cross-geometry property tests for the prime-modulo hardware.
+
+The worked examples in the paper use the 2048-set / 32-bit geometry;
+these tests sweep every Table 1 geometry on 64-bit addresses to pin the
+general claim: the shift/add units equal true modulo everywhere, within
+Theorem 1's iteration bound, with a 2-input final selector.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import (
+    IterativeLinearUnit,
+    PolynomialModUnit,
+    TlbCachedPrimeModulo,
+    iterations_required,
+)
+from repro.mathutil import largest_prime_below
+
+GEOMETRIES = (256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+@pytest.mark.parametrize("n_sets_physical", GEOMETRIES)
+class TestAllGeometries64Bit:
+    def test_polynomial_equals_modulo(self, n_sets_physical):
+        unit = PolynomialModUnit(n_sets_physical, address_bits=64,
+                                 block_bytes=64)
+        prime = largest_prime_below(n_sets_physical)
+        rng = np.random.default_rng(n_sets_physical)
+        for addr in rng.integers(0, 2**58, size=300):
+            assert unit.compute(int(addr)) == int(addr) % prime
+
+    def test_polynomial_selector_stays_two_inputs(self, n_sets_physical):
+        unit = PolynomialModUnit(n_sets_physical, address_bits=64,
+                                 block_bytes=64)
+        assert unit.selector.n_inputs == 2
+
+    def test_iterative_within_theorem_bound(self, n_sets_physical):
+        unit = IterativeLinearUnit(n_sets_physical, address_bits=64,
+                                   block_bytes=64, selector_inputs=3)
+        bound = iterations_required(64, 64, n_sets_physical,
+                                    selector_inputs=3)
+        rng = np.random.default_rng(n_sets_physical + 1)
+        prime = unit.n_sets
+        for addr in rng.integers(0, 2**58, size=300):
+            assert unit.compute(int(addr)) == int(addr) % prime
+            assert unit.last_counts.iterations <= bound
+
+    def test_tlb_path_agrees(self, n_sets_physical):
+        tlb = TlbCachedPrimeModulo(n_sets_physical, tlb_entries=8)
+        prime = tlb.n_sets
+        rng = np.random.default_rng(n_sets_physical + 2)
+        for addr in rng.integers(0, 2**48, size=300):
+            assert tlb.index_for_address(int(addr)) == (int(addr) >> 6) % prime
+
+
+class TestExtremeDatapaths:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**58 - 1))
+    def test_polynomial_max_address(self, addr):
+        """The largest address the 64-bit datapath admits still reduces
+        correctly (boundary of every fold stage)."""
+        unit = PolynomialModUnit(2048, address_bits=64, block_bytes=64)
+        assert unit.compute(addr) == addr % 2039
+
+    def test_all_ones_addresses(self):
+        for phys in GEOMETRIES:
+            unit = PolynomialModUnit(phys, address_bits=64, block_bytes=64)
+            addr = (1 << unit.block_address_bits) - 1
+            assert unit.compute(addr) == addr % unit.n_sets
+
+    def test_zero(self):
+        for phys in GEOMETRIES:
+            assert PolynomialModUnit(phys).compute(0) == 0
+
+    def test_values_straddling_the_prime(self):
+        unit = PolynomialModUnit(2048)
+        for addr in (2038, 2039, 2040, 2 * 2039 - 1, 2 * 2039, 2 * 2039 + 1):
+            assert unit.compute(addr) == addr % 2039

@@ -1,0 +1,122 @@
+"""Equivalence tests: the shift/add hardware equals true modulo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import IterativeLinearUnit, PolynomialModUnit, iterations_required
+
+
+class TestIterativeLinear:
+    def test_paper_geometry(self):
+        unit = IterativeLinearUnit(2048, address_bits=32, block_bytes=64)
+        assert unit.n_sets == 2039
+        assert unit.delta == 9
+        assert unit.block_address_bits == 26
+
+    @given(st.integers(min_value=0, max_value=2**26 - 1))
+    def test_equals_modulo_32bit(self, block_addr):
+        unit = IterativeLinearUnit(2048, address_bits=32, block_bytes=64)
+        assert unit.compute(block_addr) == block_addr % 2039
+
+    @given(st.integers(min_value=0, max_value=2**58 - 1))
+    @settings(max_examples=200)
+    def test_equals_modulo_64bit(self, block_addr):
+        unit = IterativeLinearUnit(2048, address_bits=64, block_bytes=64,
+                                   selector_inputs=3)
+        assert unit.compute(block_addr) == block_addr % 2039
+
+    def test_iteration_count_respects_theorem1_32bit(self):
+        """Paper: two iterations on a 32-bit machine with 2048 sets."""
+        unit = IterativeLinearUnit(2048, address_bits=32, block_bytes=64,
+                                   selector_inputs=3)
+        bound = iterations_required(32, 64, 2048, selector_inputs=3)
+        worst = 0
+        rng = np.random.default_rng(11)
+        for block_addr in rng.integers(0, 2**26, size=2000):
+            unit.compute(int(block_addr))
+            worst = max(worst, unit.last_counts.iterations)
+        assert worst <= bound
+        assert bound == 2
+
+    def test_iteration_count_respects_theorem1_64bit(self):
+        unit = IterativeLinearUnit(2048, address_bits=64, block_bytes=64,
+                                   selector_inputs=3)
+        bound = iterations_required(64, 64, 2048, selector_inputs=3)
+        rng = np.random.default_rng(13)
+        for block_addr in rng.integers(0, 2**58, size=500):
+            unit.compute(int(block_addr))
+            assert unit.last_counts.iterations <= bound
+
+    def test_rejects_out_of_datapath(self):
+        unit = IterativeLinearUnit(2048, address_bits=32, block_bytes=64)
+        with pytest.raises(ValueError):
+            unit.compute(2**26)
+        with pytest.raises(ValueError):
+            unit.compute(-1)
+
+    def test_rejects_bad_selector(self):
+        with pytest.raises(ValueError):
+            IterativeLinearUnit(2048, selector_inputs=1)
+
+    def test_mersenne_geometry(self):
+        """8192 physical sets -> n_set 8191 (Mersenne), Δ = 1."""
+        unit = IterativeLinearUnit(8192, address_bits=32, block_bytes=64)
+        assert unit.delta == 1
+        for addr in (0, 8191, 8192, 2**26 - 1, 1234567):
+            assert unit.compute(addr) == addr % 8191
+
+
+class TestPolynomial:
+    @pytest.fixture
+    def unit(self):
+        return PolynomialModUnit(2048, address_bits=32, block_bytes=64)
+
+    def test_paper_geometry(self, unit):
+        assert unit.n_sets == 2039
+        assert unit.delta == 9
+        assert not unit.is_mersenne_case
+
+    @given(st.integers(min_value=0, max_value=2**26 - 1))
+    def test_equals_modulo_32bit(self, block_addr):
+        unit = PolynomialModUnit(2048, address_bits=32, block_bytes=64)
+        assert unit.compute(block_addr) == block_addr % 2039
+
+    @given(st.integers(min_value=0, max_value=2**58 - 1))
+    @settings(max_examples=200)
+    def test_equals_modulo_64bit(self, block_addr):
+        unit = PolynomialModUnit(2048, address_bits=64, block_bytes=64)
+        assert unit.compute(block_addr) == block_addr % 2039
+
+    def test_two_input_selector_suffices(self, unit):
+        """Figure 4's claim: after folding, the selector needs 2 inputs."""
+        assert unit.selector.n_inputs == 2
+
+    def test_mersenne_case_flag(self):
+        unit = PolynomialModUnit(8192, address_bits=32, block_bytes=64)
+        assert unit.is_mersenne_case
+        for addr in (0, 8190, 8191, 2**26 - 1, 7777777):
+            assert unit.compute(addr) == addr % 8191
+
+    def test_various_geometries(self):
+        for phys in (256, 512, 1024, 2048, 4096, 8192, 16384):
+            unit = PolynomialModUnit(phys, address_bits=40, block_bytes=64)
+            rng = np.random.default_rng(phys)
+            for addr in rng.integers(0, 2**34, size=200):
+                assert unit.compute(int(addr)) == int(addr) % unit.n_sets
+
+    def test_stats_populated(self, unit):
+        unit.compute(123456789 % 2**26)
+        assert unit.last_stats.adds > 0
+        assert unit.last_stats.addends >= 3  # x, t1, t2
+
+    def test_rejects_out_of_datapath(self, unit):
+        with pytest.raises(ValueError):
+            unit.compute(2**26)
+
+    def test_matches_iterative_linear(self):
+        poly = PolynomialModUnit(2048, address_bits=32, block_bytes=64)
+        iterative = IterativeLinearUnit(2048, address_bits=32, block_bytes=64)
+        rng = np.random.default_rng(17)
+        for addr in rng.integers(0, 2**26, size=1000):
+            assert poly.compute(int(addr)) == iterative.compute(int(addr))

@@ -1,0 +1,54 @@
+"""Tests for the subtract&select unit (Figure 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware import SubtractSelectUnit
+
+
+class TestSubtractSelect:
+    def test_identity_below_modulus(self):
+        unit = SubtractSelectUnit(2039, max_input=4077)
+        assert unit.reduce(2038) == 2038
+
+    def test_single_subtraction(self):
+        unit = SubtractSelectUnit(2039, max_input=4077)
+        assert unit.reduce(2039) == 0
+        assert unit.reduce(4077) == 2038
+
+    def test_two_input_selector_for_figure4_range(self):
+        """Figure 4 argues two selector inputs suffice once carries are
+        folded: the datapath maximum is just below 2·n_set."""
+        unit = SubtractSelectUnit(2039, max_input=2 * 2039 - 1)
+        assert unit.n_inputs == 2
+
+    def test_n_inputs_grows_with_range(self):
+        unit = SubtractSelectUnit(100, max_input=999)
+        assert unit.n_inputs == 10
+
+    def test_rejects_out_of_range(self):
+        unit = SubtractSelectUnit(2039, max_input=4077)
+        with pytest.raises(ValueError):
+            unit.reduce(4078)
+        with pytest.raises(ValueError):
+            unit.reduce(-1)
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            SubtractSelectUnit(1, max_input=10)
+
+    def test_counts_uses(self):
+        unit = SubtractSelectUnit(7, max_input=20)
+        unit.reduce(3)
+        unit.reduce(15)
+        assert unit.uses == 2
+
+    def test_selector_shift_budget(self):
+        """Theorem 1: 2^t + 2 inputs gives budget t."""
+        assert SubtractSelectUnit(2039, max_input=3 * 2039 - 1).selector_shift_budget == 0
+        assert SubtractSelectUnit(2039, max_input=258 * 2039 - 1).selector_shift_budget == 8
+
+    @given(st.integers(min_value=2, max_value=5000), st.integers(min_value=0, max_value=50000))
+    def test_matches_modulo(self, modulus, value):
+        unit = SubtractSelectUnit(modulus, max_input=50000)
+        assert unit.reduce(value) == value % modulus

@@ -1,0 +1,58 @@
+"""Tests for Theorem 1 and the selector parameterization."""
+
+import pytest
+
+from repro.hardware import iterations_required, selector_t
+
+
+class TestSelectorT:
+    def test_three_inputs_is_t0(self):
+        assert selector_t(3) == 0
+
+    def test_258_inputs_is_t8(self):
+        assert selector_t(258) == 8
+
+    def test_two_inputs(self):
+        assert selector_t(2) == 0
+
+    def test_rejects_below_two(self):
+        with pytest.raises(ValueError):
+            selector_t(1)
+
+
+class TestTheorem1:
+    def test_paper_example_32bit(self):
+        """'For a 32-bit machine with n_set_phys = 2048 and a 64-byte
+        cache line size, the prime modulo can be computed with only two
+        iterations.'"""
+        assert iterations_required(32, 64, 2048, selector_inputs=3) == 2
+
+    def test_paper_example_64bit_small_selector(self):
+        """'with a 64-bit machine, it requires 6 iterations using a
+        subtract&select with 3-input selector'"""
+        assert iterations_required(64, 64, 2048, selector_inputs=3) == 6
+
+    def test_paper_example_64bit_wide_selector(self):
+        """'but requires 3 iterations with a 258-input selector.'"""
+        assert iterations_required(64, 64, 2048, selector_inputs=258) == 3
+
+    def test_mersenne_needs_fewer(self):
+        """Δ = 1 maximizes the per-iteration bit absorption."""
+        assert iterations_required(64, 64, 8192, selector_inputs=3) <= \
+            iterations_required(64, 64, 2048, selector_inputs=3)
+
+    def test_zero_iterations_when_address_fits(self):
+        # 17-bit addresses, 64B lines -> 11-bit block addresses already
+        # within the selector's reach.
+        assert iterations_required(17, 64, 2048, selector_inputs=3) == 0
+
+    def test_rejects_power_of_two_n_sets(self):
+        with pytest.raises(ValueError):
+            iterations_required(32, 64, 2048, n_sets=2048)
+
+    def test_monotone_in_address_bits(self):
+        prev = 0
+        for bits in (32, 40, 48, 56, 64):
+            it = iterations_required(bits, 64, 2048, selector_inputs=3)
+            assert it >= prev
+            prev = it

@@ -1,0 +1,79 @@
+"""Tests for the TLB-cached prime modulo unit (Section 3.1.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import TlbCachedPrimeModulo
+
+
+class TestTlbCachedPrimeModulo:
+    @pytest.fixture
+    def unit(self):
+        return TlbCachedPrimeModulo(2048, page_bytes=4096, block_bytes=64,
+                                    tlb_entries=8)
+
+    def test_matches_direct_modulo(self, unit):
+        rng = np.random.default_rng(5)
+        for addr in rng.integers(0, 2**32, size=5000):
+            addr = int(addr)
+            assert unit.index_for_address(addr) == (addr >> 6) % 2039
+
+    def test_block_interface(self, unit):
+        for block in (0, 1, 2039, 123456789):
+            assert unit.index_for_block(block) == block % 2039
+
+    def test_tlb_hit_on_same_page(self, unit):
+        unit.index_for_address(0x10000)
+        unit.index_for_address(0x10040)
+        assert unit.stats.hits == 1
+        assert unit.stats.misses == 1
+
+    def test_tlb_miss_on_new_page(self, unit):
+        unit.index_for_address(0x10000)
+        unit.index_for_address(0x20000)
+        assert unit.stats.misses == 2
+
+    def test_lru_eviction(self, unit):
+        for page in range(9):  # capacity 8
+            unit.index_for_address(page << 12)
+        assert unit.stats.evictions == 1
+        unit.index_for_address(0)  # page 0 was evicted
+        assert unit.stats.misses == 10
+
+    def test_lru_recency_update(self, unit):
+        for page in range(8):
+            unit.index_for_address(page << 12)
+        unit.index_for_address(0)          # touch page 0 -> MRU
+        unit.index_for_address(8 << 12)    # evicts page 1, not 0
+        unit.index_for_address(0)
+        assert unit.stats.hits == 2
+
+    def test_hit_rate(self, unit):
+        unit.index_for_address(0)
+        unit.index_for_address(64)
+        unit.index_for_address(128)
+        assert unit.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_selector_is_narrow(self, unit):
+        """The L1-miss-path work is one narrow add + tiny select: the
+        datapath max is n_set - 1 + blocks_per_page - 1."""
+        assert unit.selector.max_input == 2039 - 1 + 64 - 1
+
+    def test_rejects_negative_address(self, unit):
+        with pytest.raises(ValueError):
+            unit.index_for_address(-1)
+
+    def test_rejects_tiny_page(self):
+        with pytest.raises(ValueError):
+            TlbCachedPrimeModulo(2048, page_bytes=32, block_bytes=64)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            TlbCachedPrimeModulo(2048, tlb_entries=0)
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    @settings(max_examples=300)
+    def test_equivalence_property(self, addr):
+        unit = TlbCachedPrimeModulo(2048, tlb_entries=4)
+        assert unit.index_for_address(addr) == (addr >> 6) % 2039

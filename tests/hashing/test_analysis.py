@@ -1,0 +1,206 @@
+"""Tests for balance, concentration, sequence invariance, uniformity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing import (
+    PrimeDisplacementIndexing,
+    PrimeModuloIndexing,
+    TraditionalIndexing,
+    XorIndexing,
+    access_counts,
+    balance,
+    balance_from_counts,
+    concentration,
+    concentration_from_sets,
+    is_sequence_invariant,
+    reuse_distances,
+    sequence_invariance_violations,
+    strided_addresses,
+    uniformity,
+)
+
+
+class TestStridedAddresses:
+    def test_basic(self):
+        assert strided_addresses(3, 4, base=10).tolist() == [10, 13, 16, 19]
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(ValueError):
+            strided_addresses(0, 10)
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            strided_addresses(1, 0)
+
+
+class TestBalance:
+    def test_perfectly_even_counts_is_near_one(self):
+        counts = np.full(2048, 16)
+        assert balance_from_counts(counts) == pytest.approx(1.0, abs=0.07)
+
+    def test_degenerate_counts_is_large(self):
+        counts = np.zeros(2048)
+        counts[0] = 2048 * 16
+        assert balance_from_counts(counts) > 100
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            balance_from_counts(np.array([]))
+
+    def test_zero_accesses_rejected(self):
+        with pytest.raises(ValueError):
+            balance_from_counts(np.zeros(16))
+
+    def test_traditional_unit_stride_ideal(self):
+        trad = TraditionalIndexing(2048)
+        assert balance(trad, strided_addresses(1, 65536)) == pytest.approx(1.0, abs=0.05)
+
+    def test_traditional_even_stride_bad(self):
+        """Paper Property 1: gcd(s, n_set) > 1 ruins the balance."""
+        trad = TraditionalIndexing(2048)
+        assert balance(trad, strided_addresses(2, 65536)) > 1.5
+        assert balance(trad, strided_addresses(512, 65536)) > 100
+
+    def test_pmod_good_on_even_strides(self):
+        pm = PrimeModuloIndexing(2048)
+        for s in (2, 4, 8, 512, 1024):
+            assert balance(pm, strided_addresses(s, 65536)) == pytest.approx(1.0, abs=0.05)
+
+    def test_pmod_fails_only_at_multiples_of_prime(self):
+        pm = PrimeModuloIndexing(2048)
+        assert balance(pm, strided_addresses(2039, 65536)) > 100
+        assert balance(pm, strided_addresses(2 * 2039, 65536)) > 100
+
+    def test_pdisp_good_on_even_strides(self):
+        pd = PrimeDisplacementIndexing(2048)
+        for s in (2, 4, 16, 256):
+            assert balance(pd, strided_addresses(s, 65536)) == pytest.approx(1.0, abs=0.05)
+
+    def test_xor_pathological_stride(self):
+        """s = n_set - 1 degenerates XOR indexing (paper Section 3.3)."""
+        xor = XorIndexing(2048)
+        assert balance(xor, strided_addresses(2047, 65536)) > 10
+
+
+class TestReuseDistances:
+    def test_round_robin(self):
+        sets = np.array([0, 1, 2, 0, 1, 2])
+        assert sorted(reuse_distances(sets).tolist()) == [3, 3, 3]
+
+    def test_single_access(self):
+        assert len(reuse_distances(np.array([5]))) == 0
+
+    def test_no_reuse(self):
+        assert len(reuse_distances(np.array([0, 1, 2, 3]))) == 0
+
+    def test_burst(self):
+        sets = np.array([7, 7, 7])
+        assert reuse_distances(sets).tolist() == [1, 1]
+
+
+class TestConcentration:
+    def test_ideal_round_robin_is_zero(self):
+        sets = np.tile(np.arange(16), 100)
+        assert concentration_from_sets(sets, 16) == 0.0
+
+    def test_burst_pattern_is_positive(self):
+        sets = np.repeat(np.arange(16), 100)
+        assert concentration_from_sets(sets, 16) > 0
+
+    def test_no_distances_is_zero(self):
+        assert concentration_from_sets(np.array([1, 2, 3]), 16) == 0.0
+
+    def test_traditional_odd_stride_ideal(self):
+        trad = TraditionalIndexing(2048)
+        for s in (1, 3, 5, 7, 2047):
+            assert concentration(trad, strided_addresses(s, 30000)) == 0.0
+
+    def test_traditional_even_stride_bad(self):
+        trad = TraditionalIndexing(2048)
+        assert concentration(trad, strided_addresses(2, 30000)) > 100
+
+    def test_pmod_ideal_on_almost_all_strides(self):
+        pm = PrimeModuloIndexing(2048)
+        for s in (1, 2, 3, 4, 8, 100, 512, 2047):
+            assert concentration(pm, strided_addresses(s, 30000)) == pytest.approx(
+                0.0, abs=1e-9
+            ), f"stride {s}"
+
+    def test_xor_never_ideal_for_nonunit_strides(self):
+        xor = XorIndexing(2048)
+        assert concentration(xor, strided_addresses(3, 30000)) > 0
+
+
+class TestSequenceInvariance:
+    def test_traditional_is_invariant(self):
+        trad = TraditionalIndexing(2048)
+        for s in (1, 2, 3, 6, 2047):
+            assert is_sequence_invariant(trad, strided_addresses(s, 20000))
+
+    def test_pmod_is_invariant(self):
+        pm = PrimeModuloIndexing(2048)
+        for s in (1, 2, 3, 6, 2047):
+            assert is_sequence_invariant(pm, strided_addresses(s, 20000))
+
+    def test_xor_is_not_invariant(self):
+        xor = XorIndexing(2048)
+        assert sequence_invariance_violations(xor, strided_addresses(3, 20000)) > 0
+
+    def test_pdisp_is_partially_invariant(self):
+        """Paper: all but one set per subsequence keep the implication, so
+        violations exist but are far rarer than XOR's."""
+        pd = PrimeDisplacementIndexing(2048)
+        xor = XorIndexing(2048)
+        addrs = strided_addresses(3, 20000)
+        v_pd = sequence_invariance_violations(pd, addrs)
+        v_xor = sequence_invariance_violations(xor, addrs)
+        assert v_pd < v_xor
+
+    def test_short_sequence_trivially_invariant(self):
+        xor = XorIndexing(2048)
+        assert is_sequence_invariant(xor, strided_addresses(3, 2))
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_modulo_functions_invariant_for_any_stride(self, s):
+        pm = PrimeModuloIndexing(1024)
+        assert is_sequence_invariant(pm, strided_addresses(s, 5000))
+
+
+class TestUniformity:
+    def test_uniform_counts(self):
+        rep = uniformity(np.full(2048, 100))
+        assert rep.ratio == 0.0
+        assert not rep.non_uniform
+
+    def test_concentrated_counts(self):
+        counts = np.zeros(2048)
+        counts[:100] = 1000
+        rep = uniformity(counts)
+        assert rep.non_uniform
+
+    def test_threshold_is_paper_half(self):
+        assert uniformity(np.full(4, 1)).threshold == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uniformity(np.array([]))
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            uniformity(np.zeros(16))
+
+
+class TestAccessCounts:
+    def test_counts_sum_to_accesses(self):
+        pm = PrimeModuloIndexing(2048)
+        addrs = strided_addresses(7, 10000)
+        counts = access_counts(pm, addrs)
+        assert counts.sum() == 10000
+        assert len(counts) == 2039
+
+    def test_traditional_counts_length(self):
+        trad = TraditionalIndexing(2048)
+        assert len(access_counts(trad, strided_addresses(1, 100))) == 2048

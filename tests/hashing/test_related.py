@@ -1,0 +1,128 @@
+"""Tests for the related-work hashing functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing import (
+    GF2PolynomialIndexing,
+    MultiplicativeIndexing,
+    XorFoldIndexing,
+    balance,
+    concentration,
+    make_indexing,
+    strided_addresses,
+)
+
+ADDRS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@pytest.fixture(params=[XorFoldIndexing, GF2PolynomialIndexing,
+                        MultiplicativeIndexing])
+def indexing(request):
+    return request.param(2048)
+
+
+class TestCommonContract:
+    def test_registered(self):
+        for key in ("xorfold", "gf2", "multiplicative"):
+            assert make_indexing(key, 2048).n_sets == 2048
+
+    def test_index_in_range(self, indexing):
+        for addr in (0, 1, 2047, 2048, 123456789, 2**31 - 1):
+            assert 0 <= indexing.index(addr) < 2048
+
+    def test_vectorized_matches_scalar(self, indexing):
+        rng = np.random.default_rng(23)
+        addrs = rng.integers(0, 2**32, size=2048, dtype=np.uint64)
+        assert indexing.index_array(addrs).tolist() == \
+            [indexing.index(int(a)) for a in addrs]
+
+    def test_no_fragmentation(self, indexing):
+        assert indexing.fragmentation == 0.0
+
+
+class TestXorFold:
+    def test_folds_all_chunks(self):
+        xf = XorFoldIndexing(2048)
+        addr = (5 << 22) | (7 << 11) | 9
+        assert xf.index(addr) == 5 ^ 7 ^ 9
+
+    def test_rejects_narrow_address(self):
+        with pytest.raises(ValueError):
+            XorFoldIndexing(2048, address_bits=4)
+
+    @given(ADDRS)
+    def test_low_bits_identity_for_small_addresses(self, addr):
+        xf = XorFoldIndexing(2048)
+        if addr < 2048:
+            assert xf.index(addr) == addr
+
+
+class TestGF2Polynomial:
+    def test_linear_over_gf2(self):
+        """H(a ^ b) == H(a) ^ H(b): the defining property."""
+        gf = GF2PolynomialIndexing(2048)
+        rng = np.random.default_rng(3)
+        for a, b in rng.integers(0, 2**30, size=(200, 2)):
+            assert gf.index(int(a) ^ int(b)) == gf.index(int(a)) ^ gf.index(int(b))
+
+    def test_identity_below_degree(self):
+        gf = GF2PolynomialIndexing(2048)
+        for a in (0, 1, 1000, 2047):
+            assert gf.index(a) == a
+
+    def test_reduction_at_degree(self):
+        """x^11 mod (x^11 + x^2 + 1) = x^2 + 1."""
+        gf = GF2PolynomialIndexing(2048)
+        assert gf.index(2048) == 0b101
+
+    def test_custom_polynomial(self):
+        gf = GF2PolynomialIndexing(16, polynomial=0b0011)  # x^4 + x + 1
+        assert gf.index(16) == 0b0011
+
+    def test_missing_default_polynomial(self):
+        with pytest.raises(ValueError, match="irreducible"):
+            GF2PolynomialIndexing(2 ** 20)
+
+    def test_balance_good_on_power_of_two_strides(self):
+        gf = GF2PolynomialIndexing(2048)
+        for s in (2, 4, 512, 2048):
+            assert balance(gf, strided_addresses(s, 32768)) < 1.1
+
+    def test_not_sequence_invariant_hence_nonzero_concentration(self):
+        gf = GF2PolynomialIndexing(2048)
+        assert concentration(gf, strided_addresses(3, 20000)) > 0
+
+
+class TestMultiplicative:
+    def test_rejects_even_multiplier(self):
+        with pytest.raises(ValueError):
+            MultiplicativeIndexing(2048, multiplier=2)
+
+    def test_spreads_sequential_addresses(self):
+        mult = MultiplicativeIndexing(2048)
+        sets = {mult.index(a) for a in range(2048)}
+        assert len(sets) > 1500  # near-uniform scatter
+
+    def test_balance_near_ideal_for_unit_stride(self):
+        mult = MultiplicativeIndexing(2048)
+        assert balance(mult, strided_addresses(1, 32768)) < 1.2
+
+    @given(ADDRS)
+    def test_matches_manual_formula(self, addr):
+        mult = MultiplicativeIndexing(2048)
+        expected = ((addr * 0x9E3779B97F4A7C15) % (1 << 64)) >> 53
+        assert mult.index(addr) == expected
+
+
+class TestPathologyComparison:
+    def test_none_of_them_is_sequence_invariant(self):
+        """Section 6's point: the pseudo-random family trades the
+        concentration guarantee away; pMod keeps it."""
+        from repro.hashing import PrimeModuloIndexing, is_sequence_invariant
+        addrs = strided_addresses(5, 20000)
+        assert is_sequence_invariant(PrimeModuloIndexing(2048), addrs)
+        for cls in (XorFoldIndexing, GF2PolynomialIndexing,
+                    MultiplicativeIndexing):
+            assert not is_sequence_invariant(cls(2048), addrs), cls.__name__

@@ -1,0 +1,91 @@
+"""Tests for inter-bank dispersion and conflict diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    PrimeModuloIndexing,
+    SkewedPrimeDisplacementFamily,
+    SkewedXorFamily,
+    TraditionalIndexing,
+    inter_bank_dispersion,
+    top_conflict_sets,
+)
+from repro.hashing.base import BankIndexingFamily
+
+
+class _DegenerateFamily(BankIndexingFamily):
+    """Every bank uses the same hash: zero dispersion by construction."""
+
+    name = "degenerate"
+
+    def bank_index(self, bank, block_address):
+        return block_address % self.n_sets_per_bank
+
+
+class TestInterBankDispersion:
+    def test_skewed_families_disperse(self):
+        for family in (SkewedXorFamily(2048, 4),
+                       SkewedPrimeDisplacementFamily(2048, 4)):
+            report = inter_bank_dispersion(family, n_samples=20000)
+            assert report.pairs_tested > 50
+            assert report.disperses, type(family).__name__
+
+    def test_degenerate_family_does_not(self):
+        report = inter_bank_dispersion(_DegenerateFamily(256, 4),
+                                       n_samples=20000)
+        assert report.same_set_pair_rate == 1.0
+        assert not report.disperses
+
+    def test_deterministic(self):
+        fam = SkewedXorFamily(512, 2)
+        a = inter_bank_dispersion(fam, n_samples=5000, seed=3)
+        b = inter_bank_dispersion(fam, n_samples=5000, seed=3)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inter_bank_dispersion(SkewedXorFamily(512, 2), n_samples=1)
+
+
+class TestTopConflictSets:
+    def test_identifies_the_crowded_set(self):
+        trad = TraditionalIndexing(64)
+        # 10 blocks aliasing set 5, plus background.
+        aliases = np.array([5 + 64 * i for i in range(10)], dtype=np.uint64)
+        background = np.arange(1000, dtype=np.uint64)
+        blocks = np.concatenate([np.tile(aliases, 20), background])
+        groups = top_conflict_sets(trad, blocks, top=1)
+        assert groups[0].set_index == 5
+        assert groups[0].pressure >= 10
+        assert set(groups[0].blocks) >= set(int(a) for a in aliases)
+
+    def test_blocks_ranked_by_access_count(self):
+        trad = TraditionalIndexing(64)
+        blocks = np.array([3] * 10 + [67] * 5 + [131] * 1, dtype=np.uint64)
+        groups = top_conflict_sets(trad, blocks, top=1)
+        assert groups[0].blocks == (3, 67, 131)
+
+    def test_respects_top_and_listing_caps(self):
+        trad = TraditionalIndexing(64)
+        blocks = np.arange(6400, dtype=np.uint64)
+        groups = top_conflict_sets(trad, blocks, top=3, max_blocks_listed=4)
+        assert len(groups) == 3
+        assert all(len(g.blocks) <= 4 for g in groups)
+
+    def test_prime_modulo_flattens_tree_pressure(self):
+        """The diagnosis view of Figure 13: Base's hottest set carries
+        an order of magnitude more distinct blocks than pMod's."""
+        from repro.workloads import get_workload
+        trace = get_workload("tree").trace(scale=0.1, seed=0)
+        blocks = trace.block_addresses(64)
+        base_top = top_conflict_sets(TraditionalIndexing(2048), blocks,
+                                     top=1, max_blocks_listed=1000)[0]
+        pmod_top = top_conflict_sets(PrimeModuloIndexing(2048), blocks,
+                                     top=1, max_blocks_listed=1000)[0]
+        assert base_top.pressure > 4 * pmod_top.pressure
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_conflict_sets(TraditionalIndexing(64),
+                              np.arange(4, dtype=np.uint64), top=0)

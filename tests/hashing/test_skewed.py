@@ -1,0 +1,110 @@
+"""Tests for the skewed-cache bank hashing families."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing import (
+    PAPER_BANK_DISPLACEMENTS,
+    SkewedPrimeDisplacementFamily,
+    SkewedXorFamily,
+)
+from repro.mathutil import circular_shift_left
+
+ADDRS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestFamilyContract:
+    @pytest.fixture(params=[SkewedXorFamily, SkewedPrimeDisplacementFamily])
+    def family(self, request):
+        return request.param(2048, 4)
+
+    def test_indices_in_range(self, family):
+        for addr in (0, 1, 2047, 123456789):
+            for idx in family.indices(addr):
+                assert 0 <= idx < 2048
+
+    def test_indices_length_matches_banks(self, family):
+        assert len(family.indices(42)) == 4
+
+    def test_bank_out_of_range(self, family):
+        with pytest.raises(IndexError):
+            family.bank_index(4, 0)
+        with pytest.raises(IndexError):
+            family.bank_index(-1, 0)
+
+    def test_rejects_single_bank(self):
+        with pytest.raises(ValueError, match="at least 2 banks"):
+            SkewedXorFamily(2048, 1)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError, match="power of two"):
+            SkewedXorFamily(2039, 4)
+
+
+class TestSkewedXor:
+    def test_bank0_is_plain_xor(self):
+        fam = SkewedXorFamily(2048, 4)
+        addr = (0b10000000001 << 11) | 0b00000000111
+        assert fam.bank_index(0, addr) == 0b10000000001 ^ 0b00000000111
+
+    def test_banks_use_rotated_tag(self):
+        fam = SkewedXorFamily(2048, 4)
+        addr = (0b10000000001 << 11) | 0b00000000111
+        for bank in range(4):
+            expected = circular_shift_left(0b10000000001, bank, 11) ^ 0b00000000111
+            assert fam.bank_index(bank, addr) == expected
+
+    @given(ADDRS)
+    def test_interbank_dispersion_exists(self, addr):
+        """Conflicting in every bank simultaneously should be rare: for a
+        random second address that matches bank 0, it typically differs
+        somewhere else.  Weak check: the four bank indices of one address
+        are not all equal unless tag rotation is degenerate."""
+        fam = SkewedXorFamily(2048, 4)
+        idx = fam.indices(addr)
+        tag = (addr >> 11) & 2047
+        if tag not in (0, 2047):  # rotation-invariant tags are the exceptions
+            assert len(set(idx)) > 1 or tag == 0
+
+
+class TestSkewedPrimeDisplacement:
+    def test_paper_constants(self):
+        fam = SkewedPrimeDisplacementFamily(2048, 4)
+        assert fam.displacements == (9, 19, 31, 37)
+        assert PAPER_BANK_DISPLACEMENTS == (9, 19, 31, 37)
+
+    def test_formula_per_bank(self):
+        fam = SkewedPrimeDisplacementFamily(2048, 4)
+        addr = (55 << 11) | 99
+        for bank, p in enumerate((9, 19, 31, 37)):
+            assert fam.bank_index(bank, addr) == (p * 55 + 99) % 2048
+
+    def test_rejects_even_constant(self):
+        with pytest.raises(ValueError, match="odd"):
+            SkewedPrimeDisplacementFamily(2048, 2, displacements=(9, 10))
+
+    def test_rejects_duplicate_constants(self):
+        with pytest.raises(ValueError, match="distinct"):
+            SkewedPrimeDisplacementFamily(2048, 2, displacements=(9, 9))
+
+    def test_rejects_too_few_constants(self):
+        with pytest.raises(ValueError, match="need 4"):
+            SkewedPrimeDisplacementFamily(2048, 4, displacements=(9, 19))
+
+    def test_custom_constants(self):
+        fam = SkewedPrimeDisplacementFamily(1024, 2, displacements=(3, 5))
+        addr = (7 << 10) | 1
+        assert fam.bank_index(0, addr) == (3 * 7 + 1) % 1024
+        assert fam.bank_index(1, addr) == (5 * 7 + 1) % 1024
+
+    @given(ADDRS)
+    def test_banks_disagree_for_most_addresses(self, addr):
+        """Blocks mapping to the same set in one bank should usually map
+        to different sets in another — the point of skewing."""
+        fam = SkewedPrimeDisplacementFamily(2048, 4)
+        tag = addr >> 11
+        # Displacement differences are all 2·odd, so banks can only
+        # fully agree when tag ≡ 0 (mod 1024).
+        if tag % 1024 != 0:
+            idx = fam.indices(addr)
+            assert len(set(idx)) > 1

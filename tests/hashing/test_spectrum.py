@@ -1,0 +1,84 @@
+"""Tests for the stride-spectrum analysis."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    recommend_indexing,
+    score_indexings,
+    stride_spectrum,
+)
+from repro.trace import strided_stream
+
+
+def blocks_of(stream):
+    return np.asarray(stream, dtype=np.uint64) >> np.uint64(6)
+
+
+class TestStrideSpectrum:
+    def test_pure_stride_detected(self):
+        blocks = blocks_of(strided_stream(0, 64 * 7, 1000))
+        spectrum = stride_spectrum(blocks)
+        assert spectrum[0].stride == 7
+        assert spectrum[0].weight == pytest.approx(1.0)
+
+    def test_mixed_strides_weighted(self):
+        a = blocks_of(strided_stream(0, 64 * 2, 901))
+        b = blocks_of(strided_stream(1 << 20, 64 * 5, 101))
+        blocks = np.concatenate([a, b])
+        spectrum = stride_spectrum(blocks)
+        strides = {c.stride: c.weight for c in spectrum}
+        assert strides[2] > strides[5] > 0.05
+
+    def test_zero_deltas_ignored(self):
+        blocks = np.array([5, 5, 5, 6, 6, 7], dtype=np.uint64)
+        spectrum = stride_spectrum(blocks)
+        assert all(c.stride > 0 for c in spectrum)
+
+    def test_short_stream(self):
+        assert stride_spectrum(np.array([1], dtype=np.uint64)) == []
+
+    def test_constant_stream(self):
+        assert stride_spectrum(np.full(10, 3, dtype=np.uint64)) == []
+
+    def test_min_weight_cutoff(self):
+        a = blocks_of(strided_stream(0, 64, 10000))
+        b = blocks_of(strided_stream(1 << 24, 64 * 3, 5))
+        spectrum = stride_spectrum(np.concatenate([a, b]), min_weight=0.01)
+        assert all(c.weight >= 0.01 for c in spectrum)
+
+
+class TestScoring:
+    def test_empty_spectrum_is_neutral(self):
+        scores = score_indexings([])
+        assert all(v == 1.0 for v in scores.values())
+
+    def test_power_of_two_stride_flags_traditional(self):
+        blocks = blocks_of(strided_stream(0, 64 * 2048, 2000))
+        spectrum = stride_spectrum(blocks)
+        scores = score_indexings(spectrum)
+        assert scores["traditional"] > 100
+        assert scores["pmod"] < 1.2
+
+    def test_unit_stride_everyone_fine(self):
+        blocks = blocks_of(strided_stream(0, 64, 5000))
+        scores = score_indexings(stride_spectrum(blocks))
+        assert all(v < 1.2 for v in scores.values())
+
+
+class TestRecommendation:
+    def test_recommends_traditional_for_odd_strides(self):
+        blocks = blocks_of(strided_stream(0, 64 * 3, 5000))
+        assert recommend_indexing(blocks) == "traditional"
+
+    def test_recommends_a_rehash_for_set_aliasing(self):
+        """Any of the alternative hashes handles a pure set-alias
+        stride; the predictor must not pick traditional."""
+        blocks = blocks_of(strided_stream(0, 64 * 2048, 3000))
+        assert recommend_indexing(blocks) != "traditional"
+
+    def test_recommends_rehash_for_tree(self):
+        from repro.workloads import get_workload
+        trace = get_workload("bt").trace(scale=0.05, seed=0)
+        rec = recommend_indexing(trace.block_addresses(64))
+        assert rec in ("pmod", "pdisp", "xor")

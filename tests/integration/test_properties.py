@@ -1,0 +1,114 @@
+"""Cross-module property tests on core invariants (hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import (
+    FullyAssociativeCache,
+    SetAssociativeCache,
+    SkewedAssociativeCache,
+)
+from repro.cpu import build_hierarchy
+from repro.hardware import PolynomialModUnit, TlbCachedPrimeModulo
+from repro.hashing import (
+    PrimeModuloIndexing,
+    SkewedXorFamily,
+    TraditionalIndexing,
+    make_indexing,
+)
+
+TRACE = st.lists(
+    st.tuples(st.integers(0, 1 << 20), st.booleans()),
+    min_size=1, max_size=400,
+)
+
+
+class TestCacheInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(TRACE, st.sampled_from(["traditional", "xor", "pmod", "pdisp"]))
+    def test_occupancy_never_exceeds_capacity(self, trace, key):
+        cache = SetAssociativeCache(16, 2, make_indexing(key, 16))
+        for addr, w in trace:
+            cache.access(addr, w)
+        assert len(cache.resident_blocks()) <= cache.n_blocks
+
+    @settings(max_examples=30, deadline=None)
+    @given(TRACE)
+    def test_fa_lru_inclusion(self, trace):
+        """A larger fully associative LRU cache always contains every
+        block a smaller one holds (LRU stack/inclusion property)."""
+        small = FullyAssociativeCache(8)
+        large = FullyAssociativeCache(32)
+        for addr, w in trace:
+            small.access(addr, w)
+            large.access(addr, w)
+        for block in list(small._lru):
+            assert large.contains(block)
+
+    @settings(max_examples=30, deadline=None)
+    @given(TRACE)
+    def test_fa_never_worse_than_setassoc_same_capacity(self, trace):
+        """Read-only LRU: full associativity cannot have more misses
+        than a set-associative cache of equal capacity."""
+        setassoc = SetAssociativeCache(16, 2, TraditionalIndexing(16))
+        fa = FullyAssociativeCache(32)
+        for addr, _ in trace:
+            setassoc.access(addr)
+            fa.access(addr)
+        assert fa.stats.misses <= setassoc.stats.misses
+
+    @settings(max_examples=20, deadline=None)
+    @given(TRACE)
+    def test_skewed_accounting_conserved(self, trace):
+        cache = SkewedAssociativeCache(SkewedXorFamily(16, 4))
+        for addr, w in trace:
+            cache.access(addr, w)
+        s = cache.stats
+        assert s.hits + s.misses == len(trace)
+        assert s.evictions <= s.misses
+        assert s.writebacks <= s.evictions
+
+    @settings(max_examples=20, deadline=None)
+    @given(TRACE)
+    def test_repeat_trace_is_deterministic(self, trace):
+        a = SetAssociativeCache(16, 2, PrimeModuloIndexing(16))
+        b = SetAssociativeCache(16, 2, PrimeModuloIndexing(16))
+        for addr, w in trace:
+            ra = a.access(addr, w)
+            rb = b.access(addr, w)
+            assert ra == rb
+
+
+class TestHierarchyInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1 << 24), st.booleans()),
+                    min_size=1, max_size=300))
+    def test_memory_reads_equal_l2_misses(self, trace):
+        h = build_hierarchy("pmod")
+        reads = 0
+        for addr, w in trace:
+            reads += len(h.access(addr, w).memory_reads)
+        assert reads == h.l2.stats.misses
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 24), min_size=1, max_size=300))
+    def test_l1_filters_l2_traffic(self, addrs):
+        h = build_hierarchy("base")
+        for addr in addrs:
+            h.access(addr)
+        # Read-only traffic: L2 sees exactly the L1 misses.
+        assert h.l2.stats.accesses == h.l1.stats.misses
+
+
+class TestHardwareEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 2**26 - 1))
+    def test_all_index_paths_agree(self, block):
+        """Software modulo, polynomial hardware and the TLB-cached path
+        must produce the same L2 set for every block address."""
+        soft = PrimeModuloIndexing(2048)
+        poly = PolynomialModUnit(2048, address_bits=32, block_bytes=64)
+        tlb = TlbCachedPrimeModulo(2048)
+        assert soft.index(block) == poly.compute(block) == \
+            tlb.index_for_block(block)

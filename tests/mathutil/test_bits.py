@@ -1,0 +1,136 @@
+"""Tests for repro.mathutil.bits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mathutil import (
+    bit_field,
+    bit_length,
+    circular_shift_left,
+    is_power_of_two,
+    log2_exact,
+    ones_positions,
+    split_address,
+)
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for n in (0, -1, -2, 3, 5, 6, 7, 9, 1023, 2047):
+            assert not is_power_of_two(n)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(2048) == 11
+
+    def test_log2_exact_rejects(self):
+        with pytest.raises(ValueError):
+            log2_exact(2039)
+
+
+class TestBitField:
+    def test_extracts_middle(self):
+        assert bit_field(0b110101, 2, 3) == 0b101
+
+    def test_zero_width(self):
+        assert bit_field(0xFF, 3, 0) == 0
+
+    def test_negative_args_rejected(self):
+        with pytest.raises(ValueError):
+            bit_field(1, -1, 2)
+        with pytest.raises(ValueError):
+            bit_field(1, 0, -2)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=63),
+           st.integers(min_value=0, max_value=64))
+    def test_matches_shift_mask(self, value, low, width):
+        assert bit_field(value, low, width) == (value >> low) % (1 << width if width else 1)
+
+
+class TestSplitAddress:
+    def test_figure1_example(self):
+        # 2048 physical sets -> 11 index bits; 32-bit machine, 64B lines
+        # -> 26-bit block address: x (11b), t1 (11b), t2 (4b).
+        addr = (0b1011 << 22) | (0b10000000001 << 11) | 0b00000000111
+        x, chunks = split_address(addr, index_bits=11, address_bits=26)
+        assert x == 0b111
+        assert chunks == [0b10000000001, 0b1011]
+
+    def test_reconstruction(self):
+        addr = 123456789
+        x, chunks = split_address(addr, 11, 32)
+        rebuilt = x
+        for j, t in enumerate(chunks, start=1):
+            rebuilt += t << (11 * j)
+        assert rebuilt == addr
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            split_address(-1, 11, 32)
+
+    @given(st.integers(min_value=0, max_value=2**40 - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_reconstruction_property(self, addr, index_bits):
+        x, chunks = split_address(addr, index_bits, 40)
+        rebuilt = x
+        for j, t in enumerate(chunks, start=1):
+            rebuilt += t << (index_bits * j)
+        assert rebuilt == addr
+
+
+class TestCircularShift:
+    def test_identity(self):
+        assert circular_shift_left(0b1011, 0, 4) == 0b1011
+
+    def test_rotation(self):
+        assert circular_shift_left(0b1000, 1, 4) == 0b0001
+        assert circular_shift_left(0b0011, 2, 4) == 0b1100
+
+    def test_full_rotation_is_identity(self):
+        assert circular_shift_left(0b1011, 4, 4) == 0b1011
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            circular_shift_left(1, 1, 0)
+
+    @given(st.integers(min_value=0, max_value=2**11 - 1),
+           st.integers(min_value=0, max_value=100))
+    def test_rotating_preserves_popcount(self, value, shift):
+        rotated = circular_shift_left(value, shift, 11)
+        assert bin(rotated).count("1") == bin(value).count("1")
+
+    @given(st.integers(min_value=0, max_value=2**11 - 1),
+           st.integers(min_value=0, max_value=11),
+           st.integers(min_value=0, max_value=11))
+    def test_composition(self, value, s1, s2):
+        assert circular_shift_left(circular_shift_left(value, s1, 11), s2, 11) == \
+            circular_shift_left(value, s1 + s2, 11)
+
+
+class TestOnesPositions:
+    def test_nine(self):
+        assert ones_positions(9) == [0, 3]  # 9 = 1001b, the paper's Delta
+
+    def test_eightyone(self):
+        assert ones_positions(81) == [0, 4, 6]  # 81 = 1010001b
+
+    def test_zero(self):
+        assert ones_positions(0) == []
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_reconstruction(self, n):
+        assert sum(1 << p for p in ones_positions(n)) == n
+
+
+class TestBitLength:
+    def test_zero_gets_one_bit(self):
+        assert bit_length(0) == 1
+
+    def test_matches_python(self):
+        assert bit_length(2039) == 11
+        assert bit_length(2048) == 12

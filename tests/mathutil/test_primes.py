@@ -1,0 +1,121 @@
+"""Tests for repro.mathutil.primes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mathutil import (
+    is_mersenne_prime,
+    is_prime,
+    largest_prime_below,
+    mersenne_primes_below,
+    next_prime,
+    prev_prime,
+    primes_below,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 8, 9, 10, 15, 21, 25, 27, 33, 49):
+            assert not is_prime(n)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_paper_table1_primes(self):
+        # Every n_set in Table 1 is prime.
+        for p in (251, 509, 1021, 2039, 4093, 8191, 16381):
+            assert is_prime(p)
+
+    def test_large_carmichael_number(self):
+        # 561 = 3 * 11 * 17 is the smallest Carmichael number.
+        assert not is_prime(561)
+        assert not is_prime(1105)
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)  # Mersenne prime M31
+
+    def test_large_composite(self):
+        assert not is_prime((2**31 - 1) * (2**13 - 1))
+
+    @given(st.integers(min_value=2, max_value=5000))
+    def test_matches_trial_division(self, n):
+        trial = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == trial
+
+
+class TestPrevNextPrime:
+    def test_prev_prime_basic(self):
+        assert prev_prime(10) == 7
+        assert prev_prime(8) == 7
+        assert prev_prime(3) == 2
+
+    def test_prev_prime_of_prime_is_strictly_below(self):
+        assert prev_prime(7) == 5
+
+    def test_prev_prime_error_below_three(self):
+        with pytest.raises(ValueError):
+            prev_prime(2)
+
+    def test_next_prime_basic(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(10) == 11
+        assert next_prime(13) == 17
+
+    @given(st.integers(min_value=3, max_value=100000))
+    def test_prev_prime_is_prime_and_maximal(self, n):
+        p = prev_prime(n)
+        assert is_prime(p)
+        assert p < n
+        assert all(not is_prime(q) for q in range(p + 1, n))
+
+
+class TestLargestPrimeBelow:
+    def test_paper_table1(self):
+        """Table 1 of the paper, verbatim."""
+        expected = {
+            256: 251,
+            512: 509,
+            1024: 1021,
+            2048: 2039,
+            4096: 4093,
+            8192: 8191,
+            16384: 16381,
+        }
+        for phys, prime in expected.items():
+            assert largest_prime_below(phys) == prime
+
+    def test_rejects_tiny_caches(self):
+        with pytest.raises(ValueError):
+            largest_prime_below(2)
+
+
+class TestPrimesBelow:
+    def test_empty(self):
+        assert primes_below(2) == []
+        assert primes_below(0) == []
+
+    def test_small(self):
+        assert primes_below(20) == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_count_below_10000(self):
+        assert len(primes_below(10000)) == 1229  # known pi(10^4)
+
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_consistent_with_is_prime(self, limit):
+        assert primes_below(limit) == [n for n in range(limit) if is_prime(n)]
+
+
+class TestMersenne:
+    def test_known_mersenne_primes(self):
+        assert mersenne_primes_below(200000) == [3, 7, 31, 127, 8191, 131071]
+
+    def test_is_mersenne_prime(self):
+        assert is_mersenne_prime(8191)
+        assert not is_mersenne_prime(2047)  # 23 * 89
+        assert not is_mersenne_prime(2039)  # prime but not 2^k - 1

@@ -1,0 +1,95 @@
+"""Tests for the terminal table and chart renderers."""
+
+import pytest
+
+from repro.reporting import (
+    bar_chart,
+    format_table,
+    sparkline_series,
+    stacked_bar_chart,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[1].startswith("| a")
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_title(self):
+        assert format_table(["x"], [[1]], title="T").splitlines()[0] == "T"
+
+    def test_empty_rows_ok(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_numeric_right_alignment(self):
+        out = format_table(["name", "v"], [["x", 5], ["y", 123]])
+        row_x = [l for l in out.splitlines() if "x" in l][0]
+        assert row_x.endswith("  5 |")
+
+
+class TestBarChart:
+    def test_bar_lengths_proportional(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=20)
+        lines = out.splitlines()
+        assert lines[0].count("#") * 2 == lines[1].count("#")
+
+    def test_reference_marker(self):
+        out = bar_chart(["a"], [0.5], reference=1.0, width=20)
+        assert "|" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=2)
+
+    def test_zero_values_render(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in out
+
+
+class TestStackedBarChart:
+    def test_segments_rendered(self):
+        out = stacked_bar_chart(["x"], [(1.0, 1.0, 2.0)], width=40)
+        row = out.splitlines()[-1]
+        assert "#" in row and "+" in row and "." in row
+
+    def test_legend(self):
+        out = stacked_bar_chart(["x"], [(1, 0, 0)],
+                                segment_names=("busy", "other", "mem"))
+        assert "busy" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart(["x", "y"], [(1, 1, 1)])
+
+
+class TestSparkline:
+    def test_renders_grid(self):
+        out = sparkline_series([1, 2, 3, 4], [0.0, 1.0, 2.0, 3.0], height=4,
+                               width=20)
+        assert out.count("*") >= 1
+        assert "stride 1 .. 4" in out
+
+    def test_cap_clips(self):
+        out = sparkline_series([1, 2], [1.0, 100.0], y_cap=10.0)
+        assert "10.00" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline_series([], [])
+        with pytest.raises(ValueError):
+            sparkline_series([1], [1.0, 2.0])

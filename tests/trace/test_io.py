@@ -1,0 +1,101 @@
+"""Tests for trace persistence (npz + Dinero formats)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    Trace,
+    TraceMetadata,
+    load_trace_npz,
+    read_dinero,
+    save_trace_npz,
+    write_dinero,
+)
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        name="sample",
+        addresses=np.array([0, 64, 128, 4096], dtype=np.uint64),
+        is_write=np.array([False, True, False, True]),
+        meta=TraceMetadata(instructions_per_access=7.5,
+                           mispredicts_per_kaccess=3.0, mlp=2.5),
+    )
+
+
+class TestNpzRoundTrip:
+    def test_lossless(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace_npz(trace, path)
+        loaded = load_trace_npz(path)
+        assert loaded.name == "sample"
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert np.array_equal(loaded.is_write, trace.is_write)
+        assert loaded.meta == trace.meta
+
+    def test_workload_trace_round_trip(self, tmp_path):
+        from repro.workloads import get_workload
+        original = get_workload("lu").trace(scale=0.05, seed=1)
+        path = tmp_path / "lu.npz"
+        save_trace_npz(original, path)
+        loaded = load_trace_npz(path)
+        assert np.array_equal(loaded.addresses, original.addresses)
+        assert loaded.meta == original.meta
+
+
+class TestDinero:
+    def test_write_format(self, trace):
+        out = io.StringIO()
+        assert write_dinero(trace, out) == 4
+        lines = out.getvalue().splitlines()
+        assert lines[0] == "0 0"
+        assert lines[1] == "1 40"      # write at 0x40
+        assert lines[3] == "1 1000"    # write at 0x1000
+
+    def test_round_trip(self, trace):
+        out = io.StringIO()
+        write_dinero(trace, out)
+        loaded = read_dinero(io.StringIO(out.getvalue()), name="sample")
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert np.array_equal(loaded.is_write, trace.is_write)
+
+    def test_skips_comments_and_blanks(self):
+        text = "# header\n\n0 10\n1 20\n"
+        loaded = read_dinero(io.StringIO(text))
+        assert loaded.addresses.tolist() == [0x10, 0x20]
+
+    def test_ifetch_skipped_by_default(self):
+        loaded = read_dinero(io.StringIO("2 100\n0 10\n"))
+        assert loaded.addresses.tolist() == [0x10]
+
+    def test_ifetch_included_as_read(self):
+        loaded = read_dinero(io.StringIO("2 100\n"), include_ifetch=True)
+        assert loaded.addresses.tolist() == [0x100]
+        assert not loaded.is_write[0]
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_dinero(io.StringIO("0\n"))
+
+    def test_bad_label(self):
+        with pytest.raises(ValueError, match="unknown label"):
+            read_dinero(io.StringIO("7 10\n"))
+
+    def test_bad_hex(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_dinero(io.StringIO("0 zz\n"))
+
+    def test_empty_stream(self):
+        with pytest.raises(ValueError, match="no records"):
+            read_dinero(io.StringIO("# nothing\n"))
+
+    def test_simulates_after_load(self):
+        """A loaded Dinero trace drives the simulator end to end."""
+        from repro.cpu import simulate_scheme
+        text = "\n".join(f"0 {i * 40:x}" for i in range(500))
+        loaded = read_dinero(io.StringIO(text), name="dinero-demo")
+        result = simulate_scheme(loaded, "pmod")
+        assert result.l2_misses > 0

@@ -1,0 +1,59 @@
+"""Tests for trace interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.trace import Trace, TraceMetadata
+from repro.trace.multiprogram import interleave_traces
+
+
+def make(name, n, base=0, ipa=4.0):
+    return Trace(
+        name,
+        base + np.arange(n, dtype=np.uint64) * 64,
+        np.zeros(n, dtype=bool),
+        TraceMetadata(instructions_per_access=ipa),
+    )
+
+
+class TestInterleave:
+    def test_all_accesses_present(self):
+        combined = interleave_traces(make("a", 100), make("b", 60), quantum=16)
+        assert len(combined) == 160
+
+    def test_second_relocated(self):
+        combined = interleave_traces(make("a", 10), make("b", 10), quantum=4,
+                                     second_base=1 << 36)
+        high = combined.addresses[combined.addresses >= (1 << 36)]
+        assert len(high) == 10
+
+    def test_order_preserved_per_program(self):
+        combined = interleave_traces(make("a", 50), make("b", 50), quantum=8)
+        a_part = combined.addresses[combined.addresses < (1 << 36)]
+        assert np.all(np.diff(a_part.astype(np.int64)) > 0)
+
+    def test_quantum_slicing(self):
+        combined = interleave_traces(make("a", 8), make("b", 8), quantum=4)
+        # First quantum from a, second from b.
+        assert np.all(combined.addresses[:4] < (1 << 36))
+        assert np.all(combined.addresses[4:8] >= (1 << 36))
+
+    def test_metadata_averaged(self):
+        combined = interleave_traces(make("a", 4, ipa=4.0),
+                                     make("b", 4, ipa=8.0), quantum=2)
+        assert combined.meta.instructions_per_access == 6.0
+
+    def test_name_combines(self):
+        assert interleave_traces(make("a", 4), make("b", 4)).name == "a+b"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interleave_traces(make("a", 4), make("b", 4), quantum=0)
+        with pytest.raises(ValueError):
+            interleave_traces(make("a", 4),
+                              Trace("e", np.array([], dtype=np.uint64),
+                                    np.array([], dtype=bool)))
+
+    def test_unbalanced_lengths(self):
+        combined = interleave_traces(make("a", 100), make("b", 10), quantum=8)
+        assert len(combined) == 110

@@ -1,0 +1,60 @@
+"""Tests for Trace and TraceMetadata."""
+
+import numpy as np
+import pytest
+
+from repro.trace import Trace, TraceMetadata
+
+
+class TestTraceMetadata:
+    def test_defaults_valid(self):
+        meta = TraceMetadata()
+        assert meta.mlp >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceMetadata(instructions_per_access=0)
+        with pytest.raises(ValueError):
+            TraceMetadata(mispredicts_per_kaccess=-1)
+        with pytest.raises(ValueError):
+            TraceMetadata(mlp=0.5)
+
+
+class TestTrace:
+    def make(self, n=10):
+        return Trace(
+            name="t",
+            addresses=np.arange(n, dtype=np.uint64) * 64,
+            is_write=np.zeros(n, dtype=bool),
+        )
+
+    def test_len(self):
+        assert len(self.make(7)) == 7
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", np.arange(3, dtype=np.uint64), np.zeros(4, dtype=bool))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", np.zeros((2, 2), dtype=np.uint64),
+                  np.zeros((2, 2), dtype=bool))
+
+    def test_write_fraction(self):
+        t = Trace("t", np.zeros(4, dtype=np.uint64),
+                  np.array([True, False, True, False]))
+        assert t.write_fraction == 0.5
+
+    def test_block_addresses(self):
+        t = self.make(4)  # byte addresses 0, 64, 128, 192
+        assert t.block_addresses(64).tolist() == [0, 1, 2, 3]
+        assert t.block_addresses(32).tolist() == [0, 2, 4, 6]
+
+    def test_block_addresses_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            self.make().block_addresses(48)
+
+    def test_dtype_coercion(self):
+        t = Trace("t", np.array([1, 2, 3]), np.array([0, 1, 0]))
+        assert t.addresses.dtype == np.uint64
+        assert t.is_write.dtype == bool

@@ -1,0 +1,152 @@
+"""Tests for virtual memory translation and page allocators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace import Trace, TraceMetadata
+from repro.vm import (
+    ColoringAllocator,
+    RandomAllocator,
+    SequentialAllocator,
+    VirtualMemory,
+)
+
+
+class TestSequentialAllocator:
+    def test_first_touch_order(self):
+        alloc = SequentialAllocator(10)
+        assert [alloc.allocate(v) for v in (7, 3, 9)] == [0, 1, 2]
+
+    def test_exhaustion(self):
+        alloc = SequentialAllocator(1)
+        alloc.allocate(0)
+        with pytest.raises(MemoryError):
+            alloc.allocate(1)
+
+    def test_rejects_empty_memory(self):
+        with pytest.raises(ValueError):
+            SequentialAllocator(0)
+
+
+class TestRandomAllocator:
+    def test_deterministic(self):
+        a = RandomAllocator(100, seed=3)
+        b = RandomAllocator(100, seed=3)
+        assert [a.allocate(i) for i in range(10)] == \
+            [b.allocate(i) for i in range(10)]
+
+    def test_no_duplicates(self):
+        alloc = RandomAllocator(50, seed=1)
+        pages = [alloc.allocate(i) for i in range(50)]
+        assert len(set(pages)) == 50
+
+    def test_exhaustion(self):
+        alloc = RandomAllocator(2, seed=1)
+        alloc.allocate(0)
+        alloc.allocate(1)
+        with pytest.raises(MemoryError):
+            alloc.allocate(2)
+
+
+class TestColoringAllocator:
+    def test_preserves_color(self):
+        alloc = ColoringAllocator(1024, color_bits=3)
+        for vpn in (0, 5, 13, 21, 8):
+            assert alloc.allocate(vpn) % 8 == vpn % 8
+
+    def test_within_color_sequential(self):
+        alloc = ColoringAllocator(1024, color_bits=2)
+        assert alloc.allocate(0) == 0
+        assert alloc.allocate(4) == 4   # same color 0, next slot
+        assert alloc.allocate(8) == 8
+
+    def test_per_color_exhaustion(self):
+        alloc = ColoringAllocator(4, color_bits=2)  # one page per color
+        alloc.allocate(1)
+        with pytest.raises(MemoryError):
+            alloc.allocate(5)  # same color 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColoringAllocator(4, color_bits=-1)
+        with pytest.raises(ValueError):
+            ColoringAllocator(4, color_bits=3)
+
+
+class TestVirtualMemory:
+    def test_offset_preserved(self):
+        vm = VirtualMemory(SequentialAllocator(16))
+        pa = vm.translate(0x5123)
+        assert pa & 0xFFF == 0x123
+
+    def test_same_page_same_frame(self):
+        vm = VirtualMemory(SequentialAllocator(16))
+        a = vm.translate(0x5000)
+        b = vm.translate(0x5FFF)
+        assert a >> 12 == b >> 12
+
+    def test_distinct_pages_distinct_frames(self):
+        vm = VirtualMemory(RandomAllocator(64, seed=2))
+        frames = {vm.translate(v << 12) >> 12 for v in range(20)}
+        assert len(frames) == 20
+
+    def test_rejects_negative(self):
+        vm = VirtualMemory(SequentialAllocator(4))
+        with pytest.raises(ValueError):
+            vm.translate(-1)
+
+    def test_mapped_pages_counter(self):
+        vm = VirtualMemory(SequentialAllocator(16))
+        vm.translate(0)
+        vm.translate(4096)
+        vm.translate(64)
+        assert vm.mapped_pages == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 2**24 - 1), min_size=1, max_size=100))
+    def test_translation_is_a_function(self, addrs):
+        """Same virtual address always yields the same physical one."""
+        vm = VirtualMemory(RandomAllocator(1 << 13, seed=1))
+        first = [vm.translate(a) for a in addrs]
+        second = [vm.translate(a) for a in addrs]
+        assert first == second
+
+
+class TestTranslateTrace:
+    def make_trace(self):
+        return Trace(
+            "t",
+            np.array([0, 64, 4096, 8192, 100], dtype=np.uint64),
+            np.zeros(5, dtype=bool),
+            TraceMetadata(mlp=2.0),
+        )
+
+    def test_matches_scalar_translation(self):
+        trace = self.make_trace()
+        vm_a = VirtualMemory(RandomAllocator(1024, seed=5))
+        vm_b = VirtualMemory(RandomAllocator(1024, seed=5))
+        physical = vm_a.translate_trace(trace)
+        expected = [vm_b.translate(int(a)) for a in trace.addresses]
+        assert physical.addresses.tolist() == expected
+
+    def test_metadata_carried(self):
+        physical = VirtualMemory(SequentialAllocator(64)).translate_trace(
+            self.make_trace()
+        )
+        assert physical.meta.mlp == 2.0
+        assert physical.name.endswith("@phys")
+
+    def test_sequential_identity_like_for_dense_first_touch(self):
+        """A trace touching pages 0,1,2,... in order is unchanged by
+        first-touch sequential allocation."""
+        trace = Trace("t", np.arange(0, 5 * 4096, 4096, dtype=np.uint64),
+                      np.zeros(5, dtype=bool))
+        physical = VirtualMemory(SequentialAllocator(16)).translate_trace(trace)
+        assert np.array_equal(physical.addresses, trace.addresses)
+
+    def test_page_table_persists_across_traces(self):
+        vm = VirtualMemory(SequentialAllocator(64))
+        first = vm.translate_trace(self.make_trace())
+        second = vm.translate_trace(self.make_trace())
+        assert np.array_equal(first.addresses, second.addresses)

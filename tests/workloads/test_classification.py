@@ -1,0 +1,35 @@
+"""End-to-end validation of the paper's Section 4 classification.
+
+Runs every workload through the Base (traditional) hierarchy and checks
+that the stdev/mean > 0.5 uniformity criterion reproduces the paper's
+7/16 split exactly.  This is the load-bearing property of the workload
+substitution (DESIGN.md §4), so it is tested directly despite the cost.
+"""
+
+import pytest
+
+from repro.cpu import build_hierarchy
+from repro.hashing import uniformity
+from repro.workloads import all_workload_names, get_workload
+
+SCALE = 0.35
+
+
+def classify(name: str) -> float:
+    workload = get_workload(name)
+    trace = workload.trace(scale=SCALE, seed=0)
+    hierarchy = build_hierarchy("base")
+    for address, is_write in zip(trace.addresses, trace.is_write):
+        hierarchy.access(int(address), bool(is_write))
+    return uniformity(hierarchy.l2.stats.set_accesses)
+
+
+@pytest.mark.parametrize("name", sorted(all_workload_names()))
+def test_uniformity_matches_paper(name):
+    report = classify(name)
+    expected = get_workload(name).expected_non_uniform
+    assert report.non_uniform == expected, (
+        f"{name}: ratio {report.ratio:.3f} classifies as "
+        f"{'non-uniform' if report.non_uniform else 'uniform'}, paper says "
+        f"{'non-uniform' if expected else 'uniform'}"
+    )

@@ -1,0 +1,85 @@
+"""Tests for the workload registry and the Workload contract."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    NONUNIFORM_APPS,
+    UNIFORM_APPS,
+    all_workload_names,
+    get_workload,
+)
+
+
+class TestRegistry:
+    def test_twenty_three_applications(self):
+        assert len(all_workload_names()) == 23
+
+    def test_paper_partition(self):
+        assert len(NONUNIFORM_APPS) == 7
+        assert len(UNIFORM_APPS) == 16
+        assert set(all_workload_names()) == set(NONUNIFORM_APPS) | set(UNIFORM_APPS)
+        assert not set(NONUNIFORM_APPS) & set(UNIFORM_APPS)
+
+    def test_paper_nonuniform_list(self):
+        """Section 4: 'bt, cg, ft, irr, mcf, sp, and tree'."""
+        assert NONUNIFORM_APPS == ("bt", "cg", "ft", "irr", "mcf", "sp", "tree")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("linpack")
+
+    def test_classification_attribute_matches_partition(self):
+        for name in all_workload_names():
+            w = get_workload(name)
+            assert w.expected_non_uniform == (name in NONUNIFORM_APPS)
+
+    def test_every_workload_has_suite_and_description(self):
+        for name in all_workload_names():
+            w = get_workload(name)
+            assert w.suite in ("specint", "specfp", "nas", "olden", "scientific")
+            assert w.description
+
+
+class TestWorkloadContract:
+    @pytest.fixture(params=sorted(all_workload_names()))
+    def workload(self, request):
+        return get_workload(request.param)
+
+    def test_trace_is_deterministic(self, workload):
+        a = workload.trace(scale=0.05, seed=3)
+        b = workload.trace(scale=0.05, seed=3)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.is_write, b.is_write)
+
+    def test_seed_changes_trace(self, workload):
+        a = workload.trace(scale=0.05, seed=1)
+        b = workload.trace(scale=0.05, seed=2)
+        # Writes masks at minimum differ; most generators move addresses too.
+        assert not (np.array_equal(a.addresses, b.addresses)
+                    and np.array_equal(a.is_write, b.is_write))
+
+    def test_scale_controls_length(self, workload):
+        small = workload.trace(scale=0.05, seed=0)
+        large = workload.trace(scale=0.2, seed=0)
+        assert len(large) > len(small)
+
+    def test_scale_must_be_positive(self, workload):
+        with pytest.raises(ValueError):
+            workload.trace(scale=0)
+
+    def test_trace_has_reasonable_writes(self, workload):
+        t = workload.trace(scale=0.05, seed=0)
+        assert 0.0 < t.write_fraction < 0.6
+
+    def test_metadata_is_valid(self, workload):
+        meta = workload.metadata()
+        assert meta.instructions_per_access > 0
+        assert meta.mlp >= 1.0
+
+    def test_trace_name_matches(self, workload):
+        assert workload.trace(scale=0.05).name == workload.name
+
+    def test_addresses_are_block_alignable(self, workload):
+        t = workload.trace(scale=0.05, seed=0)
+        assert int(t.addresses.max()) < 2**48  # sane address space

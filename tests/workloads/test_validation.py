@@ -1,0 +1,87 @@
+"""Tests for the workload validation gate."""
+
+import numpy as np
+import pytest
+
+from repro.trace.records import TraceMetadata
+from repro.workloads import (
+    CompositeWorkload,
+    Workload,
+    all_workload_names,
+    get_workload,
+)
+from repro.workloads.validation import validate_all, validate_workload
+
+
+@pytest.mark.parametrize("name", sorted(all_workload_names()))
+def test_every_paper_workload_validates(name):
+    report = validate_workload(get_workload(name))
+    assert report.ok, str(report)
+
+
+class TestValidatorCatchesBadWorkloads:
+    def test_composite_validates(self):
+        w = CompositeWorkload("ok", [
+            {"kind": "resident_gather", "share": 1.0, "blocks": 200},
+        ])
+        assert validate_workload(w).ok
+
+    def test_detects_seed_ignorance(self):
+        class SeedBlind(Workload):
+            name = "seedblind"
+
+            def generate(self, n, seed):
+                addrs = np.arange(n, dtype=np.uint64) * 64
+                writes = np.zeros(n, dtype=bool)
+                writes[::4] = True
+                return addrs, writes
+
+        report = validate_workload(SeedBlind())
+        assert not report.ok
+        assert any("seed" in p for p in report.problems)
+
+    def test_detects_nondeterminism(self):
+        class Flaky(Workload):
+            name = "flaky"
+            _calls = 0
+
+            def generate(self, n, seed):
+                Flaky._calls += 1
+                rng = np.random.default_rng(Flaky._calls)
+                writes = np.zeros(n, dtype=bool)
+                writes[::3] = True
+                return rng.integers(0, 1 << 20, n).astype(np.uint64), writes
+
+        report = validate_workload(Flaky())
+        assert any("deterministic" in p for p in report.problems)
+
+    def test_detects_address_overflow(self):
+        class Huge(Workload):
+            name = "huge"
+
+            def generate(self, n, seed):
+                addrs = np.full(n, (1 << 50) + seed, dtype=np.uint64)
+                writes = np.zeros(n, dtype=bool)
+                writes[0] = True
+                return addrs, writes
+
+        report = validate_workload(Huge())
+        assert any("48-bit" in p for p in report.problems)
+
+    def test_detects_raises(self):
+        class Broken(Workload):
+            name = "broken"
+
+            def generate(self, n, seed):
+                raise RuntimeError("boom")
+
+        report = validate_workload(Broken())
+        assert any("raised" in p for p in report.problems)
+
+    def test_validate_all(self):
+        reports = validate_all([get_workload("lu"), get_workload("tree")])
+        assert all(r.ok for r in reports)
+
+    def test_str_representation(self):
+        report = validate_workload(get_workload("lu"))
+        assert "lu: OK" == str(report)
