@@ -1,8 +1,11 @@
 # Convenience targets for the prime-indexing reproduction.
 
 PYTHON ?= python
+JOBS ?= 4
+SCALE ?= 1.0
+CACHE_DIR ?= .repro-cache
 
-.PHONY: install test bench eval report examples clean
+.PHONY: install test verify bench eval figures report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,8 +13,25 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# The tier-1 gate: full suite, stop at first failure, quiet output.
+verify:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every registered table/figure through the uniform
+# registry CLI, persisting results under $(CACHE_DIR) so re-runs are
+# incremental; artifacts land in artifacts/<name>.json.
+figures:
+	@mkdir -p artifacts
+	@set -e; for exp in $$(PYTHONPATH=src $(PYTHON) -m repro.experiments list | cut -d' ' -f1); do \
+		echo "== $$exp"; \
+		PYTHONPATH=src $(PYTHON) -m repro.experiments $$exp \
+			--scale $(SCALE) --jobs $(JOBS) --cache-dir $(CACHE_DIR) \
+			--artifact artifacts/$$exp.json >/dev/null; \
+	done
+	@echo "artifacts written to artifacts/"
 
 # Full-scale regeneration of every paper table and figure (~minutes).
 eval:
@@ -28,5 +48,6 @@ examples:
 	done
 
 clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache report.md
+	rm -rf build dist src/repro.egg-info .pytest_cache report.md \
+		.repro-cache artifacts
 	find . -name __pycache__ -type d -exec rm -rf {} +

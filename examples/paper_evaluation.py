@@ -5,6 +5,7 @@ whole thing completes in a few minutes; pass ``--scale 1.0`` for the
 full-length traces used by EXPERIMENTS.md.
 
 Run:  python examples/paper_evaluation.py [--scale 0.25] [--seed 0]
+      [--jobs 4] [--cache-dir .repro-cache]
 """
 
 from repro.experiments import (
@@ -18,26 +19,26 @@ from repro.experiments import (
     stride_sweep,
     summary,
 )
-from repro.experiments.common import ResultStore, RunConfig, standard_argparser
+from repro.experiments.common import context_from_args, standard_argparser
 
 
 def main() -> None:
     parser = standard_argparser(__doc__)
     parser.set_defaults(scale=0.25)
     parser.add_argument("--parallel", type=int, default=0, metavar="N",
-                        help="pre-simulate the grid with N worker processes")
+                        help="deprecated alias for --jobs N")
     args = parser.parse_args()
-    config = RunConfig(scale=args.scale, seed=args.seed)
-    if args.parallel:
+    if args.parallel and not (args.jobs and args.jobs > 1):
+        args.jobs = args.parallel
+    engine = context_from_args(args).engine
+    config = engine.config
+    if engine.jobs > 1:
         from repro.cpu import SCHEMES
-        from repro.experiments.parallel import parallel_store
         from repro.workloads import all_workload_names
         print(f"Pre-simulating the 23x{len(SCHEMES)} grid with "
-              f"{args.parallel} workers...")
-        store = parallel_store(all_workload_names(), SCHEMES, config,
-                               max_workers=args.parallel)
-    else:
-        store = ResultStore(config)  # shared across all simulation figures
+              f"{engine.jobs} workers...")
+        engine.run_grid(all_workload_names(), SCHEMES)
+    store = engine  # shared across all simulation figures
 
     print(fragmentation.render(fragmentation.run()), "\n")
     print(qualitative.render(qualitative.run()), "\n")

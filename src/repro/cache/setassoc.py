@@ -57,7 +57,7 @@ class SetAssociativeCache:
         assoc: int,
         indexing: IndexingFunction,
         replacement: str = "lru",
-        name: str = None,
+        name: Optional[str] = None,
     ):
         if indexing.n_sets_physical != n_sets_physical:
             raise ValueError(

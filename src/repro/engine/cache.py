@@ -1,0 +1,125 @@
+"""Persistent on-disk cache of simulation results.
+
+Layout (all under a configurable cache directory, default
+``.repro-cache/``)::
+
+    .repro-cache/
+      v1/                                   # RESULT_SCHEMA_VERSION
+        tree--pmod--<hash16>.json           # one ExecutionResult
+        tree--pmod--<hash16>.npz            # optional array sidecar
+
+Each JSON entry stores the full :class:`~repro.engine.key.SimulationKey`
+next to the result; on load the stored key is compared field-by-field
+against the requested one, so a truncated-hash collision or a
+hand-edited file degrades to a cache miss instead of a wrong result.
+Schema bumps move to a fresh ``v<N>/`` subdirectory, invalidating every
+older entry at once; config changes (scale, seed, machine parameters,
+…) change the fingerprint and therefore the filename.
+
+Writes go through a temp file + :meth:`~pathlib.Path.replace` so
+concurrent processes never observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.cpu.simulator import ExecutionResult
+from repro.engine.key import RESULT_SCHEMA_VERSION, SimulationKey
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Content-addressed JSON + npz store for simulation outputs."""
+
+    def __init__(self, cache_dir: Union[str, os.PathLike] = DEFAULT_CACHE_DIR):
+        self.root = Path(cache_dir) / f"v{RESULT_SCHEMA_VERSION}"
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: SimulationKey, suffix: str) -> Path:
+        return self.root / f"{key.stem}{suffix}"
+
+    def _publish(self, path: Path, write) -> None:
+        """Atomically create ``path`` via a sibling temp file."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        try:
+            write(tmp)
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.writes += 1
+
+    # -- ExecutionResult entries --------------------------------------
+
+    def get(self, key: SimulationKey) -> Optional[ExecutionResult]:
+        """The cached result for ``key``, or None."""
+        path = self._path(key, ".json")
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("key") != asdict(key):
+            self.misses += 1  # fingerprint collision or stale schema
+            return None
+        self.hits += 1
+        return ExecutionResult(**payload["result"])
+
+    def put(self, key: SimulationKey, result: ExecutionResult) -> Path:
+        """Persist one result; returns the entry path."""
+        path = self._path(key, ".json")
+        payload = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "key": asdict(key),
+            "result": asdict(result),
+        }
+
+        def write(tmp: Path) -> None:
+            with open(tmp, "w") as stream:
+                json.dump(payload, stream, indent=1)
+
+        self._publish(path, write)
+        return path
+
+    # -- npz array sidecars -------------------------------------------
+
+    def get_arrays(self, key: SimulationKey) -> Optional[Dict[str, np.ndarray]]:
+        """Arrays stored next to ``key``'s entry, or None."""
+        path = self._path(key, ".npz")
+        try:
+            with np.load(path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return arrays
+
+    def put_arrays(self, key: SimulationKey, **arrays: np.ndarray) -> Path:
+        """Persist named arrays as ``<stem>.npz``."""
+        path = self._path(key, ".npz")
+
+        def write(tmp: Path) -> None:
+            # np.savez appends .npz when missing; write to the exact tmp
+            # path by handing it an open file object instead.
+            with open(tmp, "wb") as stream:
+                np.savez(stream, **arrays)
+
+        self._publish(path, write)
+        return path
+
+    def __repr__(self) -> str:
+        return (f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses}, writes={self.writes})")

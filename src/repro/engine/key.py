@@ -1,0 +1,89 @@
+"""Content-addressed identity of a simulation run.
+
+A single cache-scheme simulation is fully determined by five inputs:
+the workload, the trace scale, the RNG seed, the scheme key, and the
+skewed-cache replacement policy — plus the machine configuration the
+hierarchy is built from.  :class:`SimulationKey` freezes all of them
+into one hashable value whose :meth:`~SimulationKey.fingerprint` is
+stable across processes and sessions, which is what lets the on-disk
+result cache (:mod:`repro.engine.cache`) reuse runs between figure
+regenerations, benchmarks and the examples.
+
+Any change to the result payload layout bumps
+:data:`RESULT_SCHEMA_VERSION`; any change to the machine parameters
+changes :func:`machine_fingerprint`.  Either way stale cache entries
+stop matching instead of being silently reused.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.cpu.config import MachineConfig
+
+#: Version of the persisted result payload.  Bump when the meaning or
+#: layout of cached results changes; old entries are then ignored.
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Knobs shared by all simulation-based experiments.
+
+    Attributes:
+        scale: trace-length multiplier (1.0 = ~120k accesses/app; tests
+            and benches use smaller values).
+        seed: RNG seed for the workload generators.
+        skew_replacement: pseudo-LRU used by the skewed caches
+            (``enru``, the paper's default, or ``nrunrw``).
+    """
+
+    scale: float = 1.0
+    seed: int = 0
+    skew_replacement: str = "enru"
+
+
+def machine_fingerprint(machine: MachineConfig = None) -> str:
+    """Short stable digest of every MachineConfig field."""
+    machine = machine or MachineConfig.paper_default()
+    payload = json.dumps(asdict(machine), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class SimulationKey:
+    """Everything that determines one (workload, scheme) run."""
+
+    workload: str
+    scheme: str
+    scale: float
+    seed: int
+    skew_replacement: str
+    machine: str = field(default_factory=machine_fingerprint)
+    schema: int = RESULT_SCHEMA_VERSION
+
+    @classmethod
+    def for_run(cls, workload: str, scheme: str, config: RunConfig,
+                machine: MachineConfig = None) -> "SimulationKey":
+        """Key for one cell of a RunConfig-driven grid."""
+        return cls(
+            workload=workload,
+            scheme=scheme,
+            scale=config.scale,
+            seed=config.seed,
+            skew_replacement=config.skew_replacement,
+            machine=machine_fingerprint(machine),
+        )
+
+    def fingerprint(self) -> str:
+        """Hex digest over every field; the content address."""
+        payload = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @property
+    def stem(self) -> str:
+        """Human-readable file stem: ``<workload>--<scheme>--<hash>``."""
+        scheme = self.scheme.replace("/", "-")
+        return f"{self.workload}--{scheme}--{self.fingerprint()}"

@@ -1,0 +1,49 @@
+"""Build each workload trace once and share it across schemes.
+
+A full paper grid is 23 workloads x 8 schemes; generating the trace
+inside every cell would synthesize each one 8 times.  The materializer
+memoizes traces per (workload, scale, seed) — the grid runner asks it
+for the trace of a workload once and reuses it for every scheme, and
+``build_counts`` lets tests assert that sharing actually happened.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from repro.engine.key import RunConfig
+from repro.trace.records import Trace
+from repro.workloads import get_workload
+
+
+class TraceMaterializer:
+    """Per-config memo of generated workload traces."""
+
+    def __init__(self, config: RunConfig = RunConfig()):
+        self.config = config
+        self._traces: Dict[str, Trace] = {}
+        #: how many times each workload's trace was actually generated
+        self.build_counts: Counter = Counter()
+
+    def get(self, workload: str) -> Trace:
+        """The (possibly memoized) trace for one workload."""
+        trace = self._traces.get(workload)
+        if trace is None:
+            trace = get_workload(workload).trace(
+                scale=self.config.scale, seed=self.config.seed
+            )
+            self._traces[workload] = trace
+            self.build_counts[workload] += 1
+        return trace
+
+    def materialized(self) -> List[str]:
+        """Workloads whose traces are currently held in memory."""
+        return sorted(self._traces)
+
+    def drop(self, workload: str = None) -> None:
+        """Release one workload's trace (or all of them) to free memory."""
+        if workload is None:
+            self._traces.clear()
+        else:
+            self._traces.pop(workload, None)

@@ -22,9 +22,50 @@ module                      reproduces
 ========================== ======================================
 
 Each module exposes ``run(...)``, ``render(result)`` and a ``main()``
-CLI (``python -m repro.experiments.<name> [--scale S] [--seed N]``).
+CLI, and registers an :class:`~repro.engine.ExperimentSpec` so it is
+also reachable uniformly::
+
+    python -m repro.experiments <name> --scale S --seed N \
+        --jobs J --cache-dir DIR [--artifact PATH]
+
+(``python -m repro.experiments list`` enumerates the registry.)
 """
+
+import importlib
 
 from repro.experiments.common import ResultStore, RunConfig
 
-__all__ = ["ResultStore", "RunConfig"]
+#: Modules that self-register an ExperimentSpec on import.
+EXPERIMENT_MODULES = (
+    "fragmentation",
+    "qualitative",
+    "machine",
+    "summary",
+    "stride_sweep",
+    "single_hash",
+    "multi_hash",
+    "miss_reduction",
+    "miss_distribution",
+    "uniformity_table",
+    "l1_hashing",
+    "l3_hashing",
+    "design_space",
+    "sensitivity",
+    "page_allocation",
+    "shared_cache",
+    "seeds",
+)
+
+
+def load_all_experiments() -> None:
+    """Import every experiment module so its spec self-registers.
+
+    Called lazily by the registry (:mod:`repro.engine.registry`) the
+    first time an experiment is looked up by name.
+    """
+    for name in EXPERIMENT_MODULES:
+        importlib.import_module(f"repro.experiments.{name}")
+
+
+__all__ = ["EXPERIMENT_MODULES", "ResultStore", "RunConfig",
+           "load_all_experiments"]

@@ -1,0 +1,88 @@
+"""Uniform CLI over the experiment registry.
+
+::
+
+    python -m repro.experiments list
+    python -m repro.experiments <name> [--scale S] [--seed N]
+        [--skew-replacement P] [--jobs J] [--cache-dir DIR]
+        [--param KEY=VALUE ...] [--artifact PATH]
+
+Every registered experiment runs through the same path: build an
+artifact (the JSON document described in :mod:`repro.engine.registry`),
+optionally write it to ``--artifact``, then render it to the terminal.
+``--param`` forwards experiment-specific knobs (e.g.
+``--param workload=bt`` for the sweep experiments); values parse as
+JSON when possible, otherwise as strings.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.engine import (
+    all_experiment_names,
+    get_experiment,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import context_from_args, standard_argparser
+
+
+def parse_params(items: List[str]) -> Dict[str, Any]:
+    """``KEY=VALUE`` pairs; VALUE is JSON when it parses, else a string."""
+    params: Dict[str, Any] = {}
+    for item in items:
+        key, sep, raw = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--param needs KEY=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def list_experiments() -> str:
+    lines = []
+    for name in all_experiment_names():
+        spec = get_experiment(name)
+        tag = "" if spec.uses_simulation else "  [analysis-only]"
+        lines.append(f"{name:20s} {spec.title}{tag}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = standard_argparser(__doc__)
+    parser.add_argument("experiment",
+                        help="registered experiment name, or 'list'")
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="experiment-specific parameter "
+                             "(repeatable; VALUE parsed as JSON)")
+    parser.add_argument("--artifact", default=None, metavar="PATH",
+                        help="also write the artifact JSON to PATH "
+                             "('-' = stdout instead of the rendering)")
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        print(list_experiments())
+        return
+    try:
+        get_experiment(args.experiment)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    context = context_from_args(args, **parse_params(args.param))
+    artifact = run_experiment(args.experiment, context)
+    if args.artifact == "-":
+        json.dump(artifact, sys.stdout, indent=1)
+        print()
+        return
+    if args.artifact:
+        with open(args.artifact, "w") as stream:
+            json.dump(artifact, stream, indent=1)
+    print(render_artifact(artifact))
+
+
+if __name__ == "__main__":
+    main()

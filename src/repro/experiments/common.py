@@ -3,12 +3,16 @@
 Every experiment module follows the same shape: a ``run(...)`` function
 returning a result dataclass, a ``render(result)`` returning the
 terminal report, and a ``main()`` so each figure/table can be
-regenerated with ``python -m repro.experiments.<name>``.
+regenerated with ``python -m repro.experiments.<name>`` (or uniformly
+via ``python -m repro.experiments <name>``).
 
-:class:`ResultStore` caches per-(workload, scheme) simulation results
-so the execution-time figures, miss figures and the Table 4 summary —
-which all consume the same runs — only simulate each configuration
-once.
+Simulation runs flow through :mod:`repro.engine`: the
+:class:`~repro.engine.SimulationEngine` content-addresses every run,
+persists results under ``--cache-dir``, materializes each workload
+trace once per grid and schedules parallel grids by workload.  The
+historical :class:`ResultStore` remains as the minimal in-memory
+memoizer; the engine is call-compatible with it, and everything here
+accepts either.
 """
 
 from __future__ import annotations
@@ -18,29 +22,28 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from repro.cpu import ExecutionResult, simulate_scheme
+from repro.engine import ExperimentContext, RunConfig, SimulationEngine
 from repro.workloads import get_workload
 
-
-@dataclass(frozen=True)
-class RunConfig:
-    """Knobs shared by all simulation-based experiments.
-
-    Attributes:
-        scale: trace-length multiplier (1.0 = ~120k accesses/app; tests
-            and benches use smaller values).
-        seed: RNG seed for the workload generators.
-        skew_replacement: pseudo-LRU used by the skewed caches
-            (``enru``, the paper's default, or ``nrunrw``).
-    """
-
-    scale: float = 1.0
-    seed: int = 0
-    skew_replacement: str = "enru"
+__all__ = [
+    "ExperimentContext",
+    "ResultStore",
+    "RunConfig",
+    "config_from_args",
+    "context_from_args",
+    "standard_argparser",
+]
 
 
 @dataclass
 class ResultStore:
-    """Memoizing runner for (workload, scheme) simulations."""
+    """Minimal in-memory memoizing runner for (workload, scheme) runs.
+
+    :class:`~repro.engine.SimulationEngine` supersedes this (adding
+    persistence, trace sharing and parallel grids) and exposes the same
+    ``result`` / ``speedup`` / ``miss_ratio`` surface; the store stays
+    for lightweight call sites and backward compatibility.
+    """
 
     config: RunConfig = field(default_factory=RunConfig)
     _results: Dict[Tuple[str, str], ExecutionResult] = field(
@@ -61,6 +64,14 @@ class ResultStore:
             self._results[key] = cached
         return cached
 
+    def preload(self, results: Dict[Tuple[str, str], ExecutionResult]) -> None:
+        """Adopt externally computed results (e.g. from a parallel grid).
+
+        The public way to pre-populate a store; keeps callers off the
+        private ``_results`` dict.
+        """
+        self._results.update(results)
+
     def speedup(self, workload: str, scheme: str) -> float:
         """Speedup of ``scheme`` over Base for one workload."""
         return self.result(workload, scheme).speedup_over(
@@ -76,10 +87,45 @@ class ResultStore:
 
 
 def standard_argparser(description: str) -> argparse.ArgumentParser:
-    """CLI shared by the experiment mains: --scale / --seed."""
+    """CLI shared by the experiment mains.
+
+    Options: ``--scale`` / ``--seed`` / ``--skew-replacement`` (the
+    RunConfig), ``--jobs`` (parallel grid workers) and ``--cache-dir``
+    (persistent result cache).
+    """
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument("--scale", type=float, default=1.0,
                         help="trace-length multiplier (default 1.0)")
     parser.add_argument("--seed", type=int, default=0,
                         help="workload RNG seed (default 0)")
+    parser.add_argument("--skew-replacement", default="enru",
+                        choices=("enru", "nrunrw"),
+                        help="skewed-cache replacement policy "
+                             "(default enru, the paper's)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for simulation grids "
+                             "(default 1 = serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist simulation results under DIR so "
+                             "re-runs perform zero new simulations")
     return parser
+
+
+def config_from_args(args: argparse.Namespace) -> RunConfig:
+    """RunConfig from a :func:`standard_argparser` namespace."""
+    return RunConfig(
+        scale=args.scale,
+        seed=args.seed,
+        skew_replacement=getattr(args, "skew_replacement", "enru"),
+    )
+
+
+def context_from_args(args: argparse.Namespace,
+                      **params) -> ExperimentContext:
+    """ExperimentContext (engine + params) from a parsed namespace."""
+    engine = SimulationEngine(
+        config=config_from_args(args),
+        cache_dir=getattr(args, "cache_dir", None),
+        jobs=getattr(args, "jobs", 1) or 1,
+    )
+    return ExperimentContext(engine=engine, params=params)

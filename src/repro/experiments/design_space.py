@@ -10,12 +10,23 @@ ways.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Sequence
 
 from repro.cache import CacheHierarchy, SetAssociativeCache
 from repro.cpu import MachineConfig, Simulator
-from repro.experiments.common import RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.hashing import make_indexing
 from repro.memory import DramModel
 from repro.reporting import format_table
@@ -86,12 +97,37 @@ def render(workload: str, points: List[DesignPoint]) -> str:
     )
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    workload = ctx.param("workload", "tree")
+    points = run(
+        workload, ctx.config,
+        indexings=tuple(ctx.param("indexings",
+                                  ("traditional", "xor", "pmod", "pdisp"))),
+        associativities=tuple(ctx.param("associativities", (1, 2, 4, 8))),
+    )
+    return {"workload": workload, "points": [asdict(p) for p in points]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    data = artifact["data"]
+    return render(data["workload"],
+                  [DesignPoint(**p) for p in data["points"]])
+
+
+register(ExperimentSpec(
+    name="design_space",
+    title="Extension: indexing x associativity design-space sweep",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     parser = standard_argparser(__doc__)
     parser.add_argument("--workload", default="tree")
     args = parser.parse_args()
-    points = run(args.workload, RunConfig(scale=args.scale, seed=args.seed))
-    print(render(args.workload, points))
+    ctx = context_from_args(args, workload=args.workload)
+    print(render_artifact(run_experiment("design_space", ctx)))
 
 
 if __name__ == "__main__":

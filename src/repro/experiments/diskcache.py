@@ -1,26 +1,29 @@
 """Disk-backed result caching for repeated experiment runs.
 
-Simulations are deterministic, so a (workload, scheme, scale, seed,
-skew-replacement, version) key fully determines an ExecutionResult.
-:class:`CachedResultStore` persists results as JSON under a cache
-directory; re-running a figure CLI after the first full-scale run costs
-milliseconds instead of minutes.
+.. deprecated::
+    :class:`CachedResultStore` predates :mod:`repro.engine`; it is now
+    a thin compatibility wrapper over the engine's
+    :class:`~repro.engine.ResultCache` (same on-disk format, same
+    invalidation rules).  New code should construct a
+    :class:`~repro.engine.SimulationEngine` with ``cache_dir=...``,
+    which additionally shares materialized traces and schedules
+    parallel grids.
 
-The cache key includes the package version: calibration changes bump it
-and quietly invalidate stale entries.
+Simulations are deterministic, so a (workload, scheme, scale, seed,
+skew-replacement, machine, schema) key fully determines an
+ExecutionResult; re-running a figure CLI after the first full-scale
+run costs milliseconds instead of minutes.
 """
 
 from __future__ import annotations
 
-import json
 import os
-from dataclasses import asdict
 from pathlib import Path
 from typing import Union
 
-import repro
 from repro.cpu import ExecutionResult
-from repro.experiments.common import ResultStore, RunConfig
+from repro.engine import ResultCache, RunConfig, SimulationKey
+from repro.experiments.common import ResultStore
 
 
 class CachedResultStore(ResultStore):
@@ -30,33 +33,29 @@ class CachedResultStore(ResultStore):
                  cache_dir: Union[str, os.PathLike] = ".repro-cache"):
         super().__init__(config)
         self.cache_dir = Path(cache_dir)
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self.disk_hits = 0
-        self.disk_misses = 0
+        self.cache = ResultCache(cache_dir)
 
-    def _path(self, workload: str, scheme: str) -> Path:
-        config = self.config
-        key = (f"{workload}--{scheme}--s{config.scale}--r{config.seed}"
-               f"--{config.skew_replacement}--v{repro.__version__}")
-        return self.cache_dir / f"{key}.json"
+    @property
+    def disk_hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def disk_misses(self) -> int:
+        return self.cache.misses
+
+    def _key(self, workload: str, scheme: str) -> SimulationKey:
+        return SimulationKey.for_run(workload, scheme, self.config)
 
     def result(self, workload: str, scheme: str) -> ExecutionResult:
-        key = (workload, scheme)
-        cached = self._results.get(key)
+        cell = (workload, scheme)
+        cached = self._results.get(cell)
         if cached is not None:
             return cached
-        path = self._path(workload, scheme)
-        if path.exists():
-            with open(path) as stream:
-                payload = json.load(stream)
-            result = ExecutionResult(**payload)
-            self._results[key] = result
-            self.disk_hits += 1
-            return result
-        self.disk_misses += 1
+        key = self._key(workload, scheme)
+        persisted = self.cache.get(key)
+        if persisted is not None:
+            self._results[cell] = persisted
+            return persisted
         result = super().result(workload, scheme)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as stream:
-            json.dump(asdict(result), stream)
-        tmp.replace(path)  # atomic publish
+        self.cache.put(key, result)
         return result

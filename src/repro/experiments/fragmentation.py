@@ -8,8 +8,15 @@ hashing leaves unused.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Mapping
 
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
 from repro.mathutil import largest_prime_below
 from repro.reporting import format_table
 
@@ -49,8 +56,44 @@ def render(rows: List[FragmentationRow]) -> str:
     )
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    set_counts = tuple(ctx.param("set_counts", PAPER_SET_COUNTS))
+    rows = run(set_counts)
+    return {
+        "rows": [
+            {
+                "n_sets_physical": row.n_sets_physical,
+                "n_sets": row.n_sets,
+                "fragmentation": row.fragmentation,
+            }
+            for row in rows
+        ]
+    }
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    rows = [
+        FragmentationRow(r["n_sets_physical"], r["n_sets"])
+        for r in artifact["data"]["rows"]
+    ]
+    return render(rows)
+
+
+register(ExperimentSpec(
+    name="fragmentation",
+    title="Table 1: prime modulo set fragmentation",
+    build=_build,
+    render=_render_artifact,
+    uses_simulation=False,
+))
+
+
 def main() -> None:
-    print(render(run()))
+    from repro.experiments.common import context_from_args, standard_argparser
+
+    args = standard_argparser(__doc__).parse_args()
+    artifact = run_experiment("fragmentation", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

@@ -18,11 +18,22 @@ Two parts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Mapping
 
 from repro.cache import CacheHierarchy, SetAssociativeCache
 from repro.cpu import MachineConfig, Simulator
-from repro.experiments.common import RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.hashing import (
     balance,
     concentration,
@@ -130,10 +141,39 @@ def run(config: RunConfig = RunConfig()):
     return example_balance(), l1_miss_comparison(config)
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    rows, misses = run(ctx.config)
+    return {
+        "balance_rows": [
+            {
+                "stride": r.stride,
+                "balances": r.balances,
+                "concentrations": r.concentrations,
+            }
+            for r in rows
+        ],
+        "l1_misses": misses,
+    }
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    data = artifact["data"]
+    rows = [L1BalanceRow(**r) for r in data["balance_rows"]]
+    return render(rows, data["l1_misses"])
+
+
+register(ExperimentSpec(
+    name="l1_hashing",
+    title="Section 3.3: why XOR is a bad L1 index",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     args = standard_argparser(__doc__).parse_args()
-    rows, misses = run(RunConfig(scale=args.scale, seed=args.seed))
-    print(render(rows, misses))
+    artifact = run_experiment("l1_hashing", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

@@ -13,12 +13,23 @@ down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Sequence
 
 from repro.cache import SetAssociativeCache
 from repro.cache.multilevel import MultiLevelHierarchy
-from repro.experiments.common import RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.hashing import make_indexing
 from repro.reporting import format_table
 from repro.workloads import get_workload
@@ -89,9 +100,32 @@ def render(results: List[L3Result]) -> str:
     )
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    results = run(
+        workloads=tuple(ctx.param("workloads", ("tree", "mcf", "lu"))),
+        config=ctx.config,
+        indexings=tuple(ctx.param("indexings",
+                                  ("traditional", "pmod", "pdisp"))),
+    )
+    return {"results": [asdict(r) for r in results]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    return render([L3Result(**r) for r in artifact["data"]["results"]])
+
+
+register(ExperimentSpec(
+    name="l3_hashing",
+    title="Extension: prime indexing at the LLC of a 3-level hierarchy",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     args = standard_argparser(__doc__).parse_args()
-    print(render(run(config=RunConfig(scale=args.scale, seed=args.seed))))
+    artifact = run_experiment("l3_hashing", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

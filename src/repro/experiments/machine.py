@@ -6,11 +6,21 @@ simulator encodes, for comparison against the paper's table.
 
 from __future__ import annotations
 
+from typing import Dict, List, Mapping
+
 from repro.cpu import MachineConfig
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
 from repro.reporting import format_table
 
 
-def render(config: MachineConfig = None) -> str:
+def parameters(config: MachineConfig = None) -> List[List[str]]:
+    """Table 3's rows: [parameter name, value] pairs."""
     config = config or MachineConfig.paper_default()
     dram = config.dram_config()
     rows = [
@@ -27,12 +37,39 @@ def render(config: MachineConfig = None) -> str:
         ["Memory RT (row hit)", f"{dram.row_hit_cycles} cycles"],
         ["Memory channels", dram.channels],
     ]
-    return format_table(["Parameter", "Value"], rows,
+    return [[name, str(value)] for name, value in rows]
+
+
+def render(config: MachineConfig = None) -> str:
+    return format_table(["Parameter", "Value"], parameters(config),
                         title="Table 3: Simulated architecture")
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    return {"parameters": parameters(ctx.engine.machine)}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    return format_table(["Parameter", "Value"],
+                        artifact["data"]["parameters"],
+                        title="Table 3: Simulated architecture")
+
+
+register(ExperimentSpec(
+    name="machine",
+    title="Table 3: simulated architecture parameters",
+    build=_build,
+    render=_render_artifact,
+    uses_simulation=False,
+))
+
+
 def main() -> None:
-    print(render())
+    from repro.experiments.common import context_from_args, standard_argparser
+
+    args = standard_argparser(__doc__).parse_args()
+    artifact = run_experiment("machine", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

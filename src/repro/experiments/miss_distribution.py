@@ -10,13 +10,25 @@ misses themselves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
 from repro.cpu import build_hierarchy
-from repro.experiments.common import RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.reporting import format_table, sparkline_series
+from repro.trace.records import Trace
 from repro.workloads import get_workload
 
 
@@ -44,10 +56,10 @@ class MissDistribution:
         return float(self.set_misses.std() / mean) if mean else 0.0
 
 
-def run(config: RunConfig = RunConfig(), workload: str = "tree",
-        schemes=("base", "pmod")) -> Dict[str, MissDistribution]:
-    """Collect per-set miss counts for the requested schemes."""
-    trace = get_workload(workload).trace(scale=config.scale, seed=config.seed)
+def _measure(trace: Trace,
+             schemes: Sequence[str]) -> Dict[str, MissDistribution]:
+    """Drive ``trace`` through each scheme's hierarchy, keeping the
+    per-set L2 miss counters."""
     results = {}
     for scheme in schemes:
         hierarchy = build_hierarchy(scheme)
@@ -59,8 +71,16 @@ def run(config: RunConfig = RunConfig(), workload: str = "tree",
     return results
 
 
-def render(results: Dict[str, MissDistribution]) -> str:
-    sections = ["Figure 13: L2 miss distribution across sets (tree)"]
+def run(config: RunConfig = RunConfig(), workload: str = "tree",
+        schemes=("base", "pmod")) -> Dict[str, MissDistribution]:
+    """Collect per-set miss counts for the requested schemes."""
+    trace = get_workload(workload).trace(scale=config.scale, seed=config.seed)
+    return _measure(trace, schemes)
+
+
+def render(results: Dict[str, MissDistribution],
+           workload: str = "tree") -> str:
+    sections = [f"Figure 13: L2 miss distribution across sets ({workload})"]
     for scheme, dist in results.items():
         sections.append(sparkline_series(
             list(range(len(dist.set_misses))),
@@ -83,9 +103,62 @@ def render(results: Dict[str, MissDistribution]) -> str:
     return "\n\n".join(sections)
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    """Per-set miss arrays, cached as npz sidecars when the engine has
+    a cache directory (the arrays are not part of ExecutionResult, so
+    they get their own content-addressed entries)."""
+    engine = ctx.engine
+    workload = ctx.param("workload", "tree")
+    schemes = tuple(ctx.param("schemes", ("base", "pmod")))
+    results: Dict[str, MissDistribution] = {}
+    todo = []
+    for scheme in schemes:
+        if engine.cache is not None:
+            arrays = engine.cache.get_arrays(engine.key(workload, scheme))
+            if arrays is not None and "set_misses" in arrays:
+                results[scheme] = MissDistribution(scheme,
+                                                   arrays["set_misses"])
+                continue
+        todo.append(scheme)
+    if todo:
+        fresh = _measure(engine.traces.get(workload), todo)
+        for scheme, dist in fresh.items():
+            results[scheme] = dist
+            if engine.cache is not None:
+                engine.cache.put_arrays(engine.key(workload, scheme),
+                                        set_misses=dist.set_misses)
+    return {
+        "workload": workload,
+        "distributions": {
+            scheme: results[scheme].set_misses.astype(int).tolist()
+            for scheme in schemes
+        },
+    }
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    data = artifact["data"]
+    results = {
+        scheme: MissDistribution(scheme, np.asarray(counts))
+        for scheme, counts in data["distributions"].items()
+    }
+    return render(results, workload=data["workload"])
+
+
+register(ExperimentSpec(
+    name="miss_distribution",
+    title="Figure 13: per-set L2 miss distribution",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
-    args = standard_argparser(__doc__).parse_args()
-    print(render(run(RunConfig(scale=args.scale, seed=args.seed))))
+    parser = standard_argparser(__doc__)
+    parser.add_argument("--workload", default="tree")
+    args = parser.parse_args()
+    ctx = context_from_args(args, workload=args.workload)
+    print(render_artifact(run_experiment("miss_distribution", ctx)))
 
 
 if __name__ == "__main__":

@@ -12,9 +12,21 @@ the uniform applications, while skw+pDisp inflates several by up to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
-from repro.experiments.common import ResultStore, RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    ResultStore,
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.reporting import bar_chart, format_table
 from repro.workloads import NONUNIFORM_APPS, UNIFORM_APPS
 
@@ -69,12 +81,55 @@ def render(figure: MissFigure) -> str:
     return "\n\n".join(sections)
 
 
+def figure_payload(figure: MissFigure) -> Dict:
+    """JSON-serializable form of one miss figure."""
+    return {
+        "title": figure.title,
+        "apps": list(figure.apps),
+        "schemes": list(figure.schemes),
+        "normalized": figure.normalized,
+    }
+
+
+def figure_from_payload(payload: Mapping) -> MissFigure:
+    """Inverse of :func:`figure_payload`."""
+    figure = MissFigure(
+        title=payload["title"],
+        apps=list(payload["apps"]),
+        schemes=list(payload["schemes"]),
+    )
+    figure.normalized = {
+        app: dict(by_scheme) for app, by_scheme in payload["normalized"].items()
+    }
+    return figure
+
+
+def _build(ctx: ExperimentContext) -> Dict:
+    engine = ctx.engine
+    engine.run_grid((*NONUNIFORM_APPS, *UNIFORM_APPS), MISS_SCHEMES)
+    fig11, fig12 = run(store=engine)
+    return {"figures": [figure_payload(fig11), figure_payload(fig12)]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    return "\n\n".join(
+        render(figure_from_payload(payload))
+        for payload in artifact["data"]["figures"]
+    )
+
+
+register(ExperimentSpec(
+    name="miss_reduction",
+    title="Figures 11-12: normalized L2 miss counts",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     args = standard_argparser(__doc__).parse_args()
-    fig11, fig12 = run(RunConfig(scale=args.scale, seed=args.seed))
-    print(render(fig11))
-    print()
-    print(render(fig12))
+    artifact = run_experiment("miss_reduction", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

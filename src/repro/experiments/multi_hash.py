@@ -9,8 +9,28 @@ ones (Section 5.3).
 
 from __future__ import annotations
 
-from repro.experiments.common import ResultStore, RunConfig, standard_argparser
-from repro.experiments.single_hash import ExecutionTimeFigure, build_figure, render
+from typing import Dict, Mapping
+
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    ResultStore,
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
+from repro.experiments.single_hash import (
+    ExecutionTimeFigure,
+    build_figure,
+    figure_from_payload,
+    figure_payload,
+    render,
+)
 from repro.workloads import NONUNIFORM_APPS, UNIFORM_APPS
 
 #: Schemes of Figures 9-10, in presentation order.
@@ -40,16 +60,36 @@ def pathological_cases(figure: ExecutionTimeFigure, scheme: str,
     ]
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    engine = ctx.engine
+    engine.run_grid((*NONUNIFORM_APPS, *UNIFORM_APPS), MULTI_HASH_SCHEMES)
+    fig9, fig10 = run(store=engine)
+    return {"figures": [figure_payload(fig9), figure_payload(fig10)]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    figures = [figure_from_payload(p) for p in artifact["data"]["figures"]]
+    sections = [render(figure) for figure in figures]
+    notes = []
+    for scheme in ("skw", "skw+pdisp"):
+        slow = pathological_cases(figures[-1], scheme)
+        notes.append(f"{scheme}: pathological slowdowns on uniform apps: "
+                     f"{', '.join(slow) if slow else 'none'}")
+    return "\n\n".join(sections) + "\n\n" + "\n".join(notes)
+
+
+register(ExperimentSpec(
+    name="multi_hash",
+    title="Figures 9-10: normalized execution time, multiple hashing",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     args = standard_argparser(__doc__).parse_args()
-    fig9, fig10 = run(RunConfig(scale=args.scale, seed=args.seed))
-    print(render(fig9))
-    print()
-    print(render(fig10))
-    for scheme in ("skw", "skw+pdisp"):
-        slow = pathological_cases(fig10, scheme)
-        print(f"\n{scheme}: pathological slowdowns on uniform apps: "
-              f"{', '.join(slow) if slow else 'none'}")
+    artifact = run_experiment("multi_hash", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

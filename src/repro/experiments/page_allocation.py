@@ -23,11 +23,22 @@ mapping the raw traces use corresponds to the color-preserving case.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Sequence
 
 from repro.cache import simulate_misses
-from repro.experiments.common import RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.hashing import PrimeModuloIndexing, TraditionalIndexing
 from repro.reporting import format_table
 from repro.vm import (
@@ -110,9 +121,32 @@ def render(results: List[AllocationResult]) -> str:
     )
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    results = run(
+        workloads=tuple(ctx.param("workloads", ("tree", "bt"))),
+        config=ctx.config,
+        policies=tuple(ctx.param("policies", POLICIES)),
+    )
+    return {"results": [asdict(r) for r in results]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    return render([AllocationResult(**r)
+                   for r in artifact["data"]["results"]])
+
+
+register(ExperimentSpec(
+    name="page_allocation",
+    title="Extension: conflict survival under OS page allocation",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     args = standard_argparser(__doc__).parse_args()
-    print(render(run(config=RunConfig(scale=args.scale, seed=args.seed))))
+    artifact = run_experiment("page_allocation", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

@@ -1,29 +1,24 @@
 """Parallel execution of (workload, scheme) simulation grids.
 
-A full-scale paper run simulates 23 applications x 8 cache schemes
-sequentially in a few minutes; with one process per core it finishes in
-a fraction of that.  Results are bit-identical to serial execution —
-every simulation is already deterministic and independent — which the
-test suite checks.
+Thin compatibility wrappers over
+:meth:`repro.engine.SimulationEngine.run_grid`, which schedules worker
+processes *by workload* (one trace generation per workload, shared by
+every scheme in the task) instead of regenerating the trace in every
+grid cell.  Results are bit-identical to serial execution — every
+simulation is deterministic and independent — which the test suite
+checks.
+
+New code should use the engine directly; these helpers remain for call
+sites written against the original API.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, Tuple
 
-from repro.cpu import ExecutionResult, simulate_scheme
-from repro.experiments.common import ResultStore, RunConfig
-from repro.workloads import get_workload
-
-
-def _simulate_one(task: Tuple[str, str, float, int, str]) -> Tuple[Tuple[str, str], ExecutionResult]:
-    """Worker: simulate one (workload, scheme) cell. Module-level so it
-    pickles under the spawn start method too."""
-    workload, scheme, scale, seed, skew_replacement = task
-    trace = get_workload(workload).trace(scale=scale, seed=seed)
-    result = simulate_scheme(trace, scheme, skew_replacement=skew_replacement)
-    return (workload, scheme), result
+from repro.cpu import ExecutionResult
+from repro.engine import RunConfig, SimulationEngine, default_jobs
+from repro.experiments.common import ResultStore
 
 
 def run_grid_parallel(
@@ -33,15 +28,8 @@ def run_grid_parallel(
     max_workers: int = None,
 ) -> Dict[Tuple[str, str], ExecutionResult]:
     """Simulate every (workload, scheme) pair across worker processes."""
-    tasks = [
-        (w, s, config.scale, config.seed, config.skew_replacement)
-        for w in workloads for s in schemes
-    ]
-    results: Dict[Tuple[str, str], ExecutionResult] = {}
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for key, result in pool.map(_simulate_one, tasks):
-            results[key] = result
-    return results
+    engine = SimulationEngine(config, jobs=max_workers or default_jobs())
+    return engine.run_grid(workloads, schemes)
 
 
 def parallel_store(
@@ -57,7 +45,5 @@ def parallel_store(
     simulated serially on demand.
     """
     store = ResultStore(config)
-    store._results.update(
-        run_grid_parallel(workloads, schemes, config, max_workers)
-    )
+    store.preload(run_grid_parallel(workloads, schemes, config, max_workers))
     return store

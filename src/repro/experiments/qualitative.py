@@ -11,11 +11,18 @@ constraints respectively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping
 
 import numpy as np
 
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
 from repro.hashing import (
     PrimeDisplacementIndexing,
     PrimeModuloIndexing,
@@ -146,8 +153,34 @@ def render(profiles: List[HashProfile]) -> str:
     )
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    profiles = run(
+        n_sets_physical=int(ctx.param("n_sets_physical", 2048)),
+        n_addresses=int(ctx.param("n_addresses", 8192)),
+        stride_limit=int(ctx.param("stride_limit", 256)),
+    )
+    return {"profiles": [asdict(p) for p in profiles]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    return render([HashProfile(**p) for p in artifact["data"]["profiles"]])
+
+
+register(ExperimentSpec(
+    name="qualitative",
+    title="Table 2: qualitative hash-function comparison (measured)",
+    build=_build,
+    render=_render_artifact,
+    uses_simulation=False,
+))
+
+
 def main() -> None:
-    print(render(run()))
+    from repro.experiments.common import context_from_args, standard_argparser
+
+    args = standard_argparser(__doc__).parse_args()
+    artifact = run_experiment("qualitative", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

@@ -9,9 +9,22 @@ each scheme's speedup.  The reproduction's claims should hold for
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from repro.experiments.common import ResultStore, RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    SimulationEngine,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    ResultStore,
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.reporting import format_table
 
 
@@ -44,10 +57,16 @@ class SeedSpread:
 def run(workloads: Sequence[str] = ("tree", "mcf", "lu"),
         schemes: Sequence[str] = ("pmod", "pdisp"),
         seeds: Sequence[int] = (0, 1, 2),
-        scale: float = 0.3) -> List[SeedSpread]:
+        scale: float = 0.3,
+        make_store: Optional[Callable[[RunConfig], ResultStore]] = None,
+        ) -> List[SeedSpread]:
+    """``make_store`` builds the per-seed runner; the default is an
+    in-memory :class:`ResultStore`, and the registry adapter passes
+    cache-sharing engines instead."""
     results = []
+    make_store = make_store or ResultStore
     stores = {
-        seed: ResultStore(RunConfig(scale=scale, seed=seed))
+        seed: make_store(RunConfig(scale=scale, seed=seed))
         for seed in seeds
     }
     for workload in workloads:
@@ -71,11 +90,53 @@ def render(results: List[SeedSpread]) -> str:
     )
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    cache = ctx.engine.cache
+
+    def make_store(config: RunConfig) -> ResultStore:
+        if cache is None:
+            return ResultStore(config)
+        return SimulationEngine(config, machine=ctx.engine.machine,
+                                cache_dir=cache.root.parent)
+
+    results = run(
+        workloads=tuple(ctx.param("workloads", ("tree", "mcf", "lu"))),
+        schemes=tuple(ctx.param("schemes", ("pmod", "pdisp"))),
+        seeds=tuple(ctx.param("seeds", (0, 1, 2))),
+        scale=ctx.config.scale,
+        make_store=make_store,
+    )
+    return {
+        "spreads": [
+            {"workload": r.workload, "scheme": r.scheme,
+             "speedups": list(r.speedups)}
+            for r in results
+        ]
+    }
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    results = [
+        SeedSpread(r["workload"], r["scheme"], tuple(r["speedups"]))
+        for r in artifact["data"]["spreads"]
+    ]
+    return render(results)
+
+
+register(ExperimentSpec(
+    name="seeds",
+    title="Ablation: seed robustness of the headline speedups",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     parser = standard_argparser(__doc__)
     parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
     args = parser.parse_args()
-    print(render(run(seeds=args.seeds, scale=args.scale)))
+    ctx = context_from_args(args, seeds=tuple(args.seeds))
+    print(render_artifact(run_experiment("seeds", ctx)))
 
 
 if __name__ == "__main__":

@@ -11,11 +11,22 @@ footprint outright — the crossover this experiment locates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Sequence
 
 from repro.cache import simulate_misses
-from repro.experiments.common import RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.hashing import PrimeModuloIndexing, TraditionalIndexing
 from repro.reporting import format_table
 from repro.workloads import get_workload
@@ -81,12 +92,33 @@ def render(points: List[SensitivityPoint]) -> str:
     )
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    points = run(
+        ctx.param("workload", "tree"), ctx.config,
+        capacities_kb=tuple(ctx.param("capacities_kb",
+                                      DEFAULT_CAPACITIES_KB)),
+    )
+    return {"points": [asdict(p) for p in points]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    return render([SensitivityPoint(**p) for p in artifact["data"]["points"]])
+
+
+register(ExperimentSpec(
+    name="sensitivity",
+    title="Extension: L2 capacity sensitivity of the pMod gap",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     parser = standard_argparser(__doc__)
     parser.add_argument("--workload", default="tree")
     args = parser.parse_args()
-    print(render(run(args.workload, RunConfig(scale=args.scale,
-                                              seed=args.seed))))
+    ctx = context_from_args(args, workload=args.workload)
+    print(render_artifact(run_experiment("sensitivity", ctx)))
 
 
 if __name__ == "__main__":

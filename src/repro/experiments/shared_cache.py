@@ -12,11 +12,22 @@ disjoint address spaces) and compares schemes.  Two questions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.cpu import simulate_scheme
-from repro.experiments.common import RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.reporting import format_table
 from repro.trace.multiprogram import interleave_traces
 from repro.workloads import get_workload
@@ -87,9 +98,37 @@ def render(results: List[SharedCacheResult]) -> str:
     )
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    pairs = tuple(tuple(p) for p in ctx.param("pairs", DEFAULT_PAIRS))
+    results = run(
+        pairs=pairs,
+        config=ctx.config,
+        schemes=tuple(ctx.param("schemes", DEFAULT_SCHEMES)),
+        quantum=int(ctx.param("quantum", 2048)),
+    )
+    return {"results": [asdict(r) for r in results]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    results = [
+        SharedCacheResult(**{**r, "pair": tuple(r["pair"])})
+        for r in artifact["data"]["results"]
+    ]
+    return render(results)
+
+
+register(ExperimentSpec(
+    name="shared_cache",
+    title="Extension: shared-L2 multiprogramming interference",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     args = standard_argparser(__doc__).parse_args()
-    print(render(run(config=RunConfig(scale=args.scale, seed=args.seed))))
+    artifact = run_experiment("shared_cache", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

@@ -8,11 +8,23 @@ Busy / Other Stalls / Memory Stall, exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Sequence
 
 from repro.cpu import NormalizedTime
-from repro.experiments.common import ResultStore, RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    ResultStore,
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.reporting import format_table, stacked_bar_chart
 from repro.workloads import NONUNIFORM_APPS, UNIFORM_APPS
 
@@ -94,12 +106,59 @@ def render(figure: ExecutionTimeFigure) -> str:
     return "\n\n".join(sections)
 
 
+def figure_payload(figure: ExecutionTimeFigure) -> Dict:
+    """JSON-serializable form of one execution-time figure."""
+    return {
+        "title": figure.title,
+        "apps": list(figure.apps),
+        "schemes": list(figure.schemes),
+        "bars": {
+            app: {scheme: asdict(bar) for scheme, bar in bars.items()}
+            for app, bars in figure.bars.items()
+        },
+    }
+
+
+def figure_from_payload(payload: Mapping) -> ExecutionTimeFigure:
+    """Inverse of :func:`figure_payload`."""
+    figure = ExecutionTimeFigure(
+        title=payload["title"],
+        apps=list(payload["apps"]),
+        schemes=list(payload["schemes"]),
+    )
+    figure.bars = {
+        app: {scheme: NormalizedTime(**bar) for scheme, bar in bars.items()}
+        for app, bars in payload["bars"].items()
+    }
+    return figure
+
+
+def _build(ctx: ExperimentContext) -> Dict:
+    engine = ctx.engine
+    engine.run_grid((*NONUNIFORM_APPS, *UNIFORM_APPS), SINGLE_HASH_SCHEMES)
+    fig7, fig8 = run(store=engine)
+    return {"figures": [figure_payload(fig7), figure_payload(fig8)]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    return "\n\n".join(
+        render(figure_from_payload(payload))
+        for payload in artifact["data"]["figures"]
+    )
+
+
+register(ExperimentSpec(
+    name="single_hash",
+    title="Figures 7-8: normalized execution time, single hashing",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     args = standard_argparser(__doc__).parse_args()
-    fig7, fig8 = run(RunConfig(scale=args.scale, seed=args.seed))
-    print(render(fig7))
-    print()
-    print(render(fig8))
+    artifact = run_experiment("single_hash", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

@@ -15,10 +15,17 @@ functions.  The paper's reference observations (Section 5.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Mapping
 
 import numpy as np
 
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
 from repro.hashing import (
     IndexingFunction,
     PrimeDisplacementIndexing,
@@ -105,8 +112,53 @@ def render(results: Dict[str, StrideSweep], balance_cap: float = 10.0) -> str:
     return "\n\n".join(sections)
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    results = run(
+        n_sets_physical=int(ctx.param("n_sets_physical", 2048)),
+        max_stride=int(ctx.param("max_stride", 2047)),
+        n_addresses=int(ctx.param("n_addresses", 8192)),
+        stride_step=int(ctx.param("stride_step", 1)),
+    )
+    return {
+        "sweeps": {
+            name: {
+                "strides": s.strides.tolist(),
+                "balance": s.balance.tolist(),
+                "concentration": s.concentration.tolist(),
+            }
+            for name, s in results.items()
+        }
+    }
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    results = {
+        name: StrideSweep(
+            name,
+            np.asarray(payload["strides"]),
+            np.asarray(payload["balance"]),
+            np.asarray(payload["concentration"]),
+        )
+        for name, payload in artifact["data"]["sweeps"].items()
+    }
+    return render(results)
+
+
+register(ExperimentSpec(
+    name="stride_sweep",
+    title="Figures 5-6: balance and concentration vs stride",
+    build=_build,
+    render=_render_artifact,
+    uses_simulation=False,
+))
+
+
 def main() -> None:
-    print(render(run()))
+    from repro.experiments.common import context_from_args, standard_argparser
+
+    args = standard_argparser(__doc__).parse_args()
+    artifact = run_experiment("stride_sweep", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

@@ -7,10 +7,22 @@ A pathological case is a slowdown of more than 1% relative to Base
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Sequence
 
-from repro.experiments.common import ResultStore, RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    ResultStore,
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.reporting import format_table
 from repro.workloads import NONUNIFORM_APPS, UNIFORM_APPS
 
@@ -84,9 +96,37 @@ def render(summaries: List[SchemeSummary]) -> str:
     return table + ("\n" + "\n".join(notes) if notes else "")
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    engine = ctx.engine
+    schemes = tuple(ctx.param("schemes", SUMMARY_SCHEMES))
+    engine.run_grid((*UNIFORM_APPS, *NONUNIFORM_APPS),
+                    ("base", *schemes))
+    summaries = run(store=engine, schemes=schemes)
+    return {"schemes": [asdict(s) for s in summaries]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    summaries = [
+        SchemeSummary(**{
+            **payload, "pathological_apps": tuple(payload["pathological_apps"]),
+        })
+        for payload in artifact["data"]["schemes"]
+    ]
+    return render(summaries)
+
+
+register(ExperimentSpec(
+    name="summary",
+    title="Table 4: speedup summary and pathological cases",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     args = standard_argparser(__doc__).parse_args()
-    print(render(run(RunConfig(scale=args.scale, seed=args.seed))))
+    artifact = run_experiment("summary", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

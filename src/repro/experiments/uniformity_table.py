@@ -13,11 +13,23 @@ classification next to the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Optional
 
 from repro.cpu import build_hierarchy
-from repro.experiments.common import RunConfig, standard_argparser
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    TraceMaterializer,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.experiments.common import (
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.hashing import uniformity
 from repro.reporting import format_table
 from repro.workloads import all_workload_names, get_workload
@@ -37,12 +49,20 @@ class UniformityRow:
         return self.non_uniform == self.paper_non_uniform
 
 
-def run(config: RunConfig = RunConfig()) -> List[UniformityRow]:
-    """Classify all 23 applications under Base indexing."""
+def run(config: RunConfig = RunConfig(),
+        traces: Optional[TraceMaterializer] = None) -> List[UniformityRow]:
+    """Classify all 23 applications under Base indexing.
+
+    ``traces`` shares an engine's materialized workload traces instead
+    of regenerating them here.
+    """
     rows = []
     for name in all_workload_names():
         workload = get_workload(name)
-        trace = workload.trace(scale=config.scale, seed=config.seed)
+        if traces is not None:
+            trace = traces.get(name)
+        else:
+            trace = workload.trace(scale=config.scale, seed=config.seed)
         hierarchy = build_hierarchy("base")
         for address, is_write in zip(trace.addresses, trace.is_write):
             hierarchy.access(int(address), bool(is_write))
@@ -78,9 +98,27 @@ def render(rows: List[UniformityRow]) -> str:
             f"(paper: 7/23); {agreement}/{len(rows)} agree with the paper.")
 
 
+def _build(ctx: ExperimentContext) -> Dict:
+    rows = run(ctx.config, traces=ctx.engine.traces)
+    return {"rows": [asdict(row) for row in rows]}
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    return render([UniformityRow(**row) for row in artifact["data"]["rows"]])
+
+
+register(ExperimentSpec(
+    name="uniformity_table",
+    title="Section 4: set-access uniformity classification",
+    build=_build,
+    render=_render_artifact,
+))
+
+
 def main() -> None:
     args = standard_argparser(__doc__).parse_args()
-    print(render(run(RunConfig(scale=args.scale, seed=args.seed))))
+    artifact = run_experiment("uniformity_table", context_from_args(args))
+    print(render_artifact(artifact))
 
 
 if __name__ == "__main__":

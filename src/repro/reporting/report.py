@@ -1,10 +1,12 @@
 """One-shot markdown report over a complete evaluation.
 
 ``full_report`` renders every simulation-backed table and figure from a
-(pre-populated or lazily-filled) ResultStore into a single markdown
-document — the machine-generated counterpart of EXPERIMENTS.md:
+:class:`~repro.engine.SimulationEngine` (or any ResultStore-compatible
+runner) into a single markdown document — the machine-generated
+counterpart of EXPERIMENTS.md:
 
-    python -m repro.reporting.report --scale 0.5 > report.md
+    python -m repro.reporting.report --scale 0.5 --jobs 4 \
+        --cache-dir .repro-cache > report.md
 """
 
 from __future__ import annotations
@@ -20,7 +22,12 @@ from repro.experiments import (
     single_hash,
     summary,
 )
-from repro.experiments.common import ResultStore, RunConfig, standard_argparser
+from repro.experiments.common import (
+    ResultStore,
+    RunConfig,
+    context_from_args,
+    standard_argparser,
+)
 from repro.workloads import NONUNIFORM_APPS, UNIFORM_APPS
 
 
@@ -73,18 +80,13 @@ def full_report(store: ResultStore) -> str:
 
 
 def main() -> None:
-    parser = standard_argparser(__doc__)
-    parser.add_argument("--cache", metavar="DIR", default=None,
-                        help="persist simulation results under DIR so "
-                             "re-runs are instant")
-    args = parser.parse_args()
-    config = RunConfig(scale=args.scale, seed=args.seed)
-    if args.cache:
-        from repro.experiments.diskcache import CachedResultStore
-        store = CachedResultStore(config, cache_dir=args.cache)
-    else:
-        store = ResultStore(config)
-    print(full_report(store))
+    args = standard_argparser(__doc__).parse_args()
+    engine = context_from_args(args).engine
+    schemes = set(single_hash.SINGLE_HASH_SCHEMES)
+    schemes |= set(multi_hash.MULTI_HASH_SCHEMES)
+    schemes |= set(miss_reduction.MISS_SCHEMES)
+    engine.run_grid((*NONUNIFORM_APPS, *UNIFORM_APPS), sorted(schemes))
+    print(full_report(engine))
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ from repro.cache import FullyAssociativeCache, SetAssociativeCache
 from repro.cache.fastsim import (
     simulate_fully_associative_misses,
     simulate_misses,
+    simulate_misses_reference,
 )
 from repro.hashing import (
     PrimeModuloIndexing,
@@ -60,6 +61,48 @@ class TestEquivalence:
         fast = simulate_misses(indexing, blocks, 4)
         ref = reference_misses(PrimeModuloIndexing(2048), blocks, 4)
         assert fast.misses == ref.misses
+
+
+class TestVectorizedVsReference:
+    """The numpy path must be bit-identical to the per-access loop."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1 << 16), min_size=1, max_size=600),
+        st.sampled_from(["traditional", "xor", "pmod", "pdisp"]),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_bit_identical_to_loop(self, blocks, key, assoc):
+        indexing = make_indexing(key, 128)
+        blocks = np.asarray(blocks, dtype=np.uint64)
+        fast = simulate_misses(indexing, blocks, assoc)
+        ref = simulate_misses_reference(indexing, blocks, assoc)
+        assert fast.misses == ref.misses
+        assert np.array_equal(fast.set_accesses, ref.set_accesses)
+        assert np.array_equal(fast.set_misses, ref.set_misses)
+
+    def test_strided_pathologies(self):
+        """Power-of-two strides concentrate sets; the windows get long
+        and exercise the chunked band loop."""
+        indexing = make_indexing("traditional", 2048)
+        oracle = make_indexing("traditional", 2048)
+        for stride in (2048, 4096, 1024):
+            blocks = (np.arange(30000, dtype=np.uint64) * stride) % (1 << 24)
+            fast = simulate_misses(indexing, blocks, 4)
+            ref = simulate_misses_reference(oracle, blocks, 4)
+            assert fast.misses == ref.misses
+            assert np.array_equal(fast.set_misses, ref.set_misses)
+
+    def test_workload_trace_identical(self):
+        """A real workload trace at the paper's L2 geometry."""
+        from repro.workloads import get_workload
+        trace = get_workload("tree").trace(scale=0.1, seed=0)
+        blocks = trace.block_addresses(64)
+        fast = simulate_misses(PrimeModuloIndexing(2048), blocks, 4)
+        ref = simulate_misses_reference(PrimeModuloIndexing(2048), blocks, 4)
+        assert fast.misses == ref.misses
+        assert np.array_equal(fast.set_accesses, ref.set_accesses)
+        assert np.array_equal(fast.set_misses, ref.set_misses)
 
 
 class TestInterface:

@@ -1,0 +1,93 @@
+"""ResultCache: persistence, verification, npz sidecars."""
+
+import dataclasses
+import json
+
+import numpy as np
+
+from repro.cpu import ExecutionResult
+from repro.engine import (
+    RESULT_SCHEMA_VERSION,
+    ResultCache,
+    RunConfig,
+    SimulationKey,
+)
+
+
+def make_result(**overrides):
+    fields = dict(
+        workload="tree", scheme="pmod", busy=400.0, other_stalls=100.0,
+        memory_stall=734.5, l1_misses=50, l2_accesses=80, l2_misses=10,
+        dram_row_hits=6, dram_row_misses=4,
+    )
+    fields.update(overrides)
+    return ExecutionResult(**fields)
+
+
+KEY = SimulationKey.for_run("tree", "pmod", RunConfig(scale=0.1))
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        original = make_result()
+        cache.put(KEY, original)
+        assert cache.writes == 1
+        loaded = ResultCache(tmp_path).get(KEY)
+        assert loaded == original
+
+    def test_miss_on_absent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(KEY) is None
+        assert cache.misses == 1
+
+    def test_schema_versioned_directory(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, make_result())
+        assert path.parent.name == f"v{RESULT_SCHEMA_VERSION}"
+
+    def test_stored_key_verified_on_load(self, tmp_path):
+        """A same-named entry whose embedded key disagrees is a miss."""
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, make_result())
+        payload = json.loads(path.read_text())
+        payload["key"]["seed"] = 999
+        path.write_text(json.dumps(payload))
+        assert ResultCache(tmp_path).get(KEY) is None
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, make_result())
+        path.write_text("{not json")
+        assert ResultCache(tmp_path).get(KEY) is None
+
+    def test_config_change_separates_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        other = SimulationKey.for_run("tree", "pmod", RunConfig(scale=0.2))
+        cache.put(KEY, make_result())
+        cache.put(other, make_result(busy=9.0))
+        assert len(list(cache.root.glob("*.json"))) == 2
+        assert cache.get(KEY).busy != cache.get(other).busy
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, make_result())
+        assert not list(cache.root.glob("*.tmp*"))
+
+
+class TestArraySidecars:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        counts = np.arange(2048, dtype=np.int64)
+        cache.put_arrays(KEY, set_misses=counts)
+        loaded = ResultCache(tmp_path).get_arrays(KEY)
+        assert np.array_equal(loaded["set_misses"], counts)
+
+    def test_absent_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).get_arrays(KEY) is None
+
+    def test_shares_stem_with_json_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        json_path = cache.put(KEY, make_result())
+        npz_path = cache.put_arrays(KEY, set_misses=np.zeros(4))
+        assert json_path.stem == npz_path.stem

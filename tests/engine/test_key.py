@@ -1,0 +1,50 @@
+"""SimulationKey: fingerprint stability and invalidation."""
+
+import dataclasses
+
+from repro.cpu import MachineConfig
+from repro.engine import (
+    RunConfig,
+    SimulationKey,
+    machine_fingerprint,
+)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        config = RunConfig(scale=0.5, seed=3)
+        a = SimulationKey.for_run("tree", "pmod", config)
+        b = SimulationKey.for_run("tree", "pmod", config)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+        assert a.stem == b.stem
+
+    def test_every_field_invalidates(self):
+        base = SimulationKey.for_run("tree", "pmod", RunConfig())
+        variants = [
+            SimulationKey.for_run("bt", "pmod", RunConfig()),
+            SimulationKey.for_run("tree", "base", RunConfig()),
+            SimulationKey.for_run("tree", "pmod", RunConfig(scale=0.5)),
+            SimulationKey.for_run("tree", "pmod", RunConfig(seed=1)),
+            SimulationKey.for_run(
+                "tree", "pmod", RunConfig(skew_replacement="nrunrw")),
+            dataclasses.replace(base, schema=base.schema + 1),
+        ]
+        fingerprints = {v.fingerprint() for v in variants}
+        assert base.fingerprint() not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_machine_config_invalidates(self):
+        default = machine_fingerprint()
+        tweaked = dataclasses.replace(MachineConfig.paper_default(),
+                                      issue_width=4)
+        assert machine_fingerprint(tweaked) != default
+        base = SimulationKey.for_run("tree", "pmod", RunConfig())
+        other = SimulationKey.for_run("tree", "pmod", RunConfig(),
+                                      machine=tweaked)
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_stem_is_filesystem_safe(self):
+        key = SimulationKey.for_run("tree", "skw+pdisp", RunConfig())
+        assert "/" not in key.stem
+        assert key.stem.startswith("tree--skw+pdisp--")

@@ -1,0 +1,100 @@
+"""Experiment registry: artifacts, schema conformance, rendering."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ARTIFACT_SCHEMA_VERSION,
+    ExperimentContext,
+    RunConfig,
+    SimulationEngine,
+    all_experiment_names,
+    get_experiment,
+    render_artifact,
+    run_experiment,
+    validate_artifact,
+)
+from repro.experiments import EXPERIMENT_MODULES
+
+
+def make_context(scale=0.05, cache_dir=None, **params):
+    engine = SimulationEngine(RunConfig(scale=scale), cache_dir=cache_dir)
+    return ExperimentContext(engine=engine, params=params)
+
+
+class TestRegistry:
+    def test_every_module_registers(self):
+        names = all_experiment_names()
+        assert set(names) == set(EXPERIMENT_MODULES)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="fragmentation"):
+            get_experiment("nonesuch")
+
+    def test_analysis_only_experiments_flagged(self):
+        for name in ("fragmentation", "qualitative", "machine",
+                     "stride_sweep"):
+            assert not get_experiment(name).uses_simulation
+        assert get_experiment("summary").uses_simulation
+
+
+def check_envelope(artifact, name):
+    validate_artifact(artifact)
+    assert artifact["schema_version"] == ARTIFACT_SCHEMA_VERSION
+    assert artifact["experiment"] == name
+    assert artifact["title"] == get_experiment(name).title
+    # the whole artifact must survive a JSON round trip unchanged
+    assert json.loads(json.dumps(artifact)) == artifact
+
+
+class TestArtifacts:
+    def test_analysis_experiments_conform(self):
+        ctx = make_context(n_addresses=256, stride_limit=16, max_stride=16)
+        for name in ("fragmentation", "machine", "qualitative",
+                     "stride_sweep"):
+            artifact = run_experiment(name, ctx)
+            check_envelope(artifact, name)
+            assert render_artifact(artifact)
+
+    def test_simulation_experiment_conforms(self):
+        artifact = run_experiment("miss_distribution", make_context())
+        check_envelope(artifact, "miss_distribution")
+        assert "tree" in render_artifact(artifact)
+
+    def test_params_recorded_in_config(self):
+        ctx = make_context(workload="lu")
+        artifact = run_experiment("miss_distribution", ctx)
+        assert artifact["config"]["params"] == {"workload": "lu"}
+        assert artifact["data"]["workload"] == "lu"
+
+    def test_reloaded_artifact_renders_identically(self, tmp_path):
+        artifact = run_experiment("fragmentation", make_context())
+        path = tmp_path / "artifact.json"
+        path.write_text(json.dumps(artifact))
+        reloaded = json.loads(path.read_text())
+        assert render_artifact(reloaded) == render_artifact(artifact)
+
+    def test_validate_rejects_bad_artifacts(self):
+        artifact = run_experiment("fragmentation", make_context())
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_artifact({k: v for k, v in artifact.items()
+                               if k != "data"})
+        with pytest.raises(ValueError, match="schema"):
+            validate_artifact({**artifact, "schema_version": 999})
+
+
+class TestCachedArtifacts:
+    def test_cold_and_warm_artifacts_identical(self, tmp_path, monkeypatch):
+        cold = run_experiment(
+            "miss_distribution", make_context(cache_dir=tmp_path))
+
+        # a warm run must not touch the hierarchy at all
+        import repro.experiments.miss_distribution as md
+        def boom(*a, **k):
+            raise AssertionError("warm run re-simulated")
+        monkeypatch.setattr(md, "_measure", boom)
+
+        warm = run_experiment(
+            "miss_distribution", make_context(cache_dir=tmp_path))
+        assert warm == cold

@@ -1,0 +1,52 @@
+"""The uniform ``python -m repro.experiments`` CLI."""
+
+import json
+
+import pytest
+
+from repro.engine import all_experiment_names, validate_artifact
+from repro.experiments.__main__ import main, parse_params
+
+
+class TestParseParams:
+    def test_json_values(self):
+        assert parse_params(["workload=bt", "scale=0.5", "seeds=[1,2]"]) == {
+            "workload": "bt", "scale": 0.5, "seeds": [1, 2],
+        }
+
+    def test_plain_strings_pass_through(self):
+        assert parse_params(["policy=first-touch"]) == {
+            "policy": "first-touch"
+        }
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_params(["workload"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for name in all_experiment_names():
+            assert name in out
+
+    def test_run_and_render(self, capsys):
+        main(["fragmentation"])
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_artifact_written(self, tmp_path, capsys):
+        path = tmp_path / "frag.json"
+        main(["fragmentation", "--artifact", str(path)])
+        artifact = json.loads(path.read_text())
+        validate_artifact(artifact)
+        assert artifact["experiment"] == "fragmentation"
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_param_forwarded(self, tmp_path):
+        path = tmp_path / "frag.json"
+        main(["fragmentation", "--artifact", str(path),
+              "--param", "set_counts=[256,512]"])
+        artifact = json.loads(path.read_text())
+        assert len(artifact["data"]["rows"]) == 2
+        assert artifact["config"]["params"] == {"set_counts": [256, 512]}

@@ -13,7 +13,7 @@ class TestCachedResultStore:
         store = CachedResultStore(CONFIG, cache_dir=tmp_path)
         result = store.result("lu", "base")
         assert store.disk_misses == 1
-        assert list(tmp_path.glob("*.json"))
+        assert list(tmp_path.rglob("*.json"))
         assert result.l2_misses > 0
 
     def test_second_store_reads_from_disk(self, tmp_path):
@@ -37,7 +37,7 @@ class TestCachedResultStore:
         b = CachedResultStore(RunConfig(scale=0.08), cache_dir=tmp_path)
         a.result("lu", "base")
         b.result("lu", "base")
-        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert len(list(tmp_path.rglob("*.json"))) == 2
 
     def test_memory_cache_still_works(self, tmp_path):
         store = CachedResultStore(CONFIG, cache_dir=tmp_path)
