@@ -5,7 +5,7 @@ JOBS ?= 4
 SCALE ?= 1.0
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test verify bench eval figures report examples clean
+.PHONY: install test verify bench store-bench eval figures report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +19,10 @@ verify:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Sharded-store replay benchmark; writes BENCH_store.json at the root.
+store-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_store_sharding.py --benchmark-only
 
 # Regenerate every registered table/figure through the uniform
 # registry CLI, persisting results under $(CACHE_DIR) so re-runs are

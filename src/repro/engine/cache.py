@@ -17,7 +17,17 @@ older entry at once; config changes (scale, seed, machine parameters,
 …) change the fingerprint and therefore the filename.
 
 Writes go through a temp file + :meth:`~pathlib.Path.replace` so
-concurrent processes never observe a half-written entry.
+concurrent processes never observe a half-written entry.  Reads are
+hardened the same way: a truncated or hand-corrupted entry — invalid
+JSON, a payload of the wrong shape, a damaged npz — counts as a cache
+miss and the broken file is discarded, so corruption can cost a re-run
+but never an exception out of :class:`~repro.engine.runner.
+SimulationEngine`.
+
+Besides :class:`~repro.cpu.simulator.ExecutionResult` entries, the
+cache stores free-form JSON payloads (``get_payload``/``put_payload``)
+under the same content addressing; the ``store_sharding`` experiment
+persists its per-(scheme, traffic) measurements through that surface.
 """
 
 from __future__ import annotations
@@ -60,22 +70,58 @@ class ResultCache:
             tmp.unlink(missing_ok=True)
         self.writes += 1
 
+    def _discard(self, path: Path) -> None:
+        """Drop a corrupt entry so the next run rewrites it cleanly."""
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass  # read-only cache dir: miss anyway, leave the file
+
+    def _load_verified(self, path: Path, key: SimulationKey,
+                       field: str) -> Optional[dict]:
+        """Entry payload at ``path`` iff readable and keyed to ``key``.
+
+        A missing file is a plain miss; unreadable JSON or an envelope
+        of the wrong shape is a miss *plus* a discard of the broken
+        file.  A well-formed entry whose stored key differs (truncated-
+        hash collision, stale schema) is a miss but is left in place —
+        it is some other key's valid entry.
+        """
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += 1
+            self._discard(path)
+            return None
+        if not isinstance(payload, dict) or field not in payload:
+            self.misses += 1
+            self._discard(path)
+            return None
+        if payload.get("key") != asdict(key):
+            self.misses += 1  # fingerprint collision or stale schema
+            return None
+        return payload
+
     # -- ExecutionResult entries --------------------------------------
 
     def get(self, key: SimulationKey) -> Optional[ExecutionResult]:
         """The cached result for ``key``, or None."""
         path = self._path(key, ".json")
-        try:
-            with open(path) as stream:
-                payload = json.load(stream)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
+        payload = self._load_verified(path, key, "result")
+        if payload is None:
             return None
-        if payload.get("key") != asdict(key):
-            self.misses += 1  # fingerprint collision or stale schema
+        try:
+            result = ExecutionResult(**payload["result"])
+        except TypeError:  # truncated or hand-edited field set
+            self.misses += 1
+            self._discard(path)
             return None
         self.hits += 1
-        return ExecutionResult(**payload["result"])
+        return result
 
     def put(self, key: SimulationKey, result: ExecutionResult) -> Path:
         """Persist one result; returns the entry path."""
@@ -93,16 +139,51 @@ class ResultCache:
         self._publish(path, write)
         return path
 
+    # -- free-form JSON payload entries -------------------------------
+
+    def get_payload(self, key: SimulationKey) -> Optional[dict]:
+        """The cached JSON payload for ``key``, or None."""
+        payload = self._load_verified(self._path(key, ".payload.json"),
+                                      key, "payload")
+        if payload is None:
+            return None
+        self.hits += 1
+        return payload["payload"]
+
+    def put_payload(self, key: SimulationKey, payload: dict) -> Path:
+        """Persist one JSON-serializable payload; returns the entry path."""
+        path = self._path(key, ".payload.json")
+        entry = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "key": asdict(key),
+            "payload": payload,
+        }
+
+        def write(tmp: Path) -> None:
+            with open(tmp, "w") as stream:
+                json.dump(entry, stream, indent=1)
+
+        self._publish(path, write)
+        return path
+
     # -- npz array sidecars -------------------------------------------
 
     def get_arrays(self, key: SimulationKey) -> Optional[Dict[str, np.ndarray]]:
-        """Arrays stored next to ``key``'s entry, or None."""
+        """Arrays stored next to ``key``'s entry, or None.
+
+        A missing sidecar is a plain miss; a truncated or corrupted
+        archive is a miss that also discards the broken file.
+        """
         path = self._path(key, ".npz")
         try:
             with np.load(path) as archive:
                 arrays = {name: archive[name] for name in archive.files}
-        except (OSError, ValueError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except Exception:  # zipfile/pickle raise a zoo of types here
+            self.misses += 1
+            self._discard(path)
             return None
         self.hits += 1
         return arrays

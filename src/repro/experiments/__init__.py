@@ -19,6 +19,7 @@ module                      reproduces
 ``page_allocation``         OS page-allocation robustness (extension)
 ``shared_cache``            multiprogrammed-L2 interference (extension)
 ``seeds``                   seed-robustness of the headline results
+``store_sharding``          sharded KV store balance (extension)
 ========================== ======================================
 
 Each module exposes ``run(...)``, ``render(result)`` and a ``main()``
@@ -54,6 +55,7 @@ EXPERIMENT_MODULES = (
     "page_allocation",
     "shared_cache",
     "seeds",
+    "store_sharding",
 )
 
 

@@ -1,0 +1,61 @@
+"""Rendering for `repro.store` shard-balance results.
+
+One table plus one balance chart per traffic pattern; consumed by the
+``store_sharding`` experiment and the store benchmark.  Rows are plain
+dicts (the :meth:`~repro.store.driver.ReplayReport.as_dict` /
+:meth:`~repro.store.engine.StoreTelemetry.as_dict` payloads), so
+artifacts loaded back from JSON render identically to fresh runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.reporting.chart import bar_chart
+from repro.reporting.table import format_table
+
+
+def _fmt(value: float, spec: str = "{:.3f}") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return spec.format(value)
+
+
+def shard_balance_table(rows: Sequence[Mapping], title: str = None) -> str:
+    """Table of per-scheme serving metrics for one traffic pattern.
+
+    Each row needs ``scheme`` plus the telemetry fields ``balance``,
+    ``concentration``, ``hit_rate``, ``tail_load`` and (optionally)
+    ``throughput_rps``.
+    """
+    body = []
+    for row in rows:
+        body.append([
+            row["scheme"],
+            _fmt(row["balance"]),
+            _fmt(row["concentration"], "{:.2f}"),
+            _fmt(row["hit_rate"]),
+            _fmt(row["tail_load"], "{:.2f}"),
+            _fmt(row.get("throughput_rps"), "{:,.0f}")
+            if row.get("throughput_rps") is not None else "-",
+        ])
+    return format_table(
+        ["scheme", "balance", "concentration", "hit rate", "tail load",
+         "req/s"],
+        body,
+        title=title,
+    )
+
+
+def shard_balance_chart(rows: Sequence[Mapping], title: str = None,
+                        cap: float = 16.0) -> str:
+    """Bar chart of balance per scheme (1.0 reference = ideal spread).
+
+    Balance is capped for display the way the paper caps Figure 5 —
+    a fully collapsed selector's balance is the shard count and would
+    flatten every other bar.
+    """
+    labels = [str(row["scheme"]) for row in rows]
+    values = [min(float(row["balance"]), cap) for row in rows]
+    return bar_chart(labels, values, title=title, reference=1.0)

@@ -1,0 +1,61 @@
+"""`repro.store` — a sharded in-memory object store routed by the
+paper's indexing functions.
+
+The rest of the package *analyzes* hashing functions against simulated
+cache addresses; this subsystem *serves requests* through them.  A
+:class:`ShardSelector` adapts any :mod:`repro.hashing` scheme into a
+key→shard router (prime shard counts for pMod, the paper's p = 9/19/31/37
+displacement constants for pDisp); each shard is a capacity-bounded
+set-associative segment (:class:`Shard`) evicting through
+:mod:`repro.cache.replacement` policies; :class:`ShardedStore` fronts
+them with ``get``/``put``/``delete``, per-shard and global statistics,
+and live balance (Eq. 1) / concentration (Eq. 2) telemetry computed by
+:mod:`repro.hashing.analysis` over the observed shard-access stream.
+
+:mod:`repro.store.traffic` generates the request streams the paper's
+argument is about — hot-key Zipfian, strided batch walks, and
+power-of-two-aligned keys — and :mod:`repro.store.driver` replays them
+concurrently (one lock per shard) and reports throughput and tail
+per-shard load.
+"""
+
+from repro.store.driver import ReplayReport, replay
+from repro.store.engine import ShardedStore, StoreTelemetry
+from repro.store.selector import (
+    STORE_SCHEMES,
+    ShardSelector,
+    available_selectors,
+    make_selector,
+)
+from repro.store.shard import Shard, ShardStats
+from repro.store.traffic import (
+    Request,
+    TRAFFIC_PATTERNS,
+    available_patterns,
+    make_traffic,
+    power_of_two_traffic,
+    request_keys,
+    strided_traffic,
+    zipfian_traffic,
+)
+
+__all__ = [
+    "Request",
+    "ReplayReport",
+    "STORE_SCHEMES",
+    "Shard",
+    "ShardSelector",
+    "ShardStats",
+    "ShardedStore",
+    "StoreTelemetry",
+    "TRAFFIC_PATTERNS",
+    "available_patterns",
+    "available_selectors",
+    "make_selector",
+    "make_traffic",
+    "power_of_two_traffic",
+    "replay",
+    "request_keys",
+    "strided_traffic",
+    "zipfian_traffic",
+]

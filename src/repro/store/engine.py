@@ -1,0 +1,211 @@
+"""The store front end: routing, per-shard segments, live telemetry.
+
+:class:`ShardedStore` is the piece that turns the paper's indexing
+functions into a serving system: every ``get``/``put``/``delete`` routes
+its key through a :class:`~repro.store.selector.ShardSelector`, lands on
+one lock-guarded :class:`~repro.store.shard.Shard`, and appends the
+chosen shard id to a bounded telemetry window.  From that observed
+shard-access stream the store computes, live, the paper's two quality
+metrics via :mod:`repro.hashing.analysis`:
+
+* **balance** (Eq. 1) over the per-shard access histogram — how evenly
+  the traffic spread across shards;
+* **concentration** (Eq. 2) over the shard-access *sequence* — whether
+  the stream burst-hammers individual shards.
+
+Those are exactly the numbers the strided sweeps of Figures 5 and 6
+report for L2 sets, here measured on real served traffic.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.hashing.analysis import balance_from_counts, concentration_from_sets
+from repro.store.selector import ShardSelector, StoreKey, canonical_key, make_selector
+from repro.store.shard import Shard
+
+#: Default shard-access window the telemetry metrics are computed over.
+DEFAULT_TELEMETRY_WINDOW = 1 << 16
+
+
+@dataclass(frozen=True)
+class StoreTelemetry:
+    """One snapshot of a store's health and hashing quality.
+
+    ``balance`` is NaN until the store has served at least one request;
+    ``concentration`` is 0.0 on an ideal (or empty) stream, matching
+    the analysis-layer conventions.
+    """
+
+    scheme: str
+    n_shards: int
+    accesses: int
+    gets: int
+    hits: int
+    misses: int
+    evictions: int
+    occupancy: int
+    capacity: int
+    hit_rate: float
+    balance: float
+    concentration: float
+    tail_load: float  #: max per-shard accesses / ideal per-shard share
+    shard_accesses: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable payload (artifact / benchmark friendly)."""
+        return {
+            "scheme": self.scheme,
+            "n_shards": self.n_shards,
+            "accesses": self.accesses,
+            "gets": self.gets,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "occupancy": self.occupancy,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+            "balance": self.balance,
+            "concentration": self.concentration,
+            "tail_load": self.tail_load,
+            "shard_accesses": list(self.shard_accesses),
+        }
+
+
+class ShardedStore:
+    """Sharded, capacity-bounded, thread-safe in-memory object store.
+
+    Args:
+        n_shards: power-of-two physical shard count; ``pmod`` uses the
+            largest prime below it, leaving the rest idle (Table 1's
+            fragmentation, transplanted to shards).
+        scheme: shard-selection scheme key from
+            :data:`~repro.store.selector.STORE_SCHEMES`.
+        shard_capacity: max entries per shard.
+        assoc: ways per shard set.
+        replacement: per-set eviction policy key.
+        telemetry_window: how many recent shard accesses the
+            concentration metric is computed over (bounded so telemetry
+            cost stays O(window), not O(traffic)).
+    """
+
+    def __init__(self, n_shards: int = 64, scheme: str = "pmod",
+                 shard_capacity: int = 512, assoc: int = 8,
+                 replacement: str = "lru",
+                 telemetry_window: int = DEFAULT_TELEMETRY_WINDOW):
+        self.selector: ShardSelector = make_selector(scheme, n_shards)
+        self.shards: List[Shard] = [
+            Shard(shard_capacity, assoc=assoc, replacement=replacement,
+                  shard_id=i)
+            for i in range(self.selector.n_shards)
+        ]
+        self._window: deque = deque(maxlen=telemetry_window)
+        self._window_lock = threading.Lock()
+
+    # -- routing -------------------------------------------------------
+
+    @property
+    def scheme(self) -> str:
+        return self.selector.scheme
+
+    @property
+    def n_shards(self) -> int:
+        return self.selector.n_shards
+
+    def shard_for(self, key: StoreKey) -> int:
+        """Shard id ``key`` routes to (no access recorded)."""
+        return self.selector.shard(key)
+
+    def _route(self, key: StoreKey) -> tuple:
+        canonical = canonical_key(key)
+        shard_id = self.selector.indexing.index(canonical)
+        with self._window_lock:
+            self._window.append(shard_id)
+        return self.shards[shard_id], canonical
+
+    # -- operations ----------------------------------------------------
+
+    def get(self, key: StoreKey, default: Any = None) -> Any:
+        shard, canonical = self._route(key)
+        return shard.get(canonical, default)
+
+    def put(self, key: StoreKey, value: Any) -> Optional[int]:
+        """Store ``value``; returns the evicted (canonical) key, if any."""
+        shard, canonical = self._route(key)
+        return shard.put(canonical, value)
+
+    def delete(self, key: StoreKey) -> bool:
+        shard, canonical = self._route(key)
+        return shard.delete(canonical)
+
+    def contains(self, key: StoreKey) -> bool:
+        canonical = canonical_key(key)
+        return self.shards[self.selector.indexing.index(canonical)].contains(
+            canonical
+        )
+
+    def __len__(self) -> int:
+        return sum(shard.occupancy for shard in self.shards)
+
+    @property
+    def capacity(self) -> int:
+        return sum(shard.capacity for shard in self.shards)
+
+    # -- telemetry -----------------------------------------------------
+
+    def shard_access_counts(self) -> np.ndarray:
+        """Lifetime accesses per shard (the observed histogram)."""
+        return np.array([shard.stats.accesses for shard in self.shards],
+                        dtype=np.int64)
+
+    def balance(self) -> float:
+        """Balance (Eq. 1) of the lifetime shard-access histogram."""
+        counts = self.shard_access_counts()
+        if counts.sum() == 0:
+            return math.nan
+        return balance_from_counts(counts)
+
+    def concentration(self) -> float:
+        """Concentration (Eq. 2) over the recent shard-access window."""
+        with self._window_lock:
+            window = np.array(self._window, dtype=np.int64)
+        return concentration_from_sets(window, self.n_shards)
+
+    def telemetry(self) -> StoreTelemetry:
+        """Snapshot every counter plus the two paper metrics."""
+        counts = self.shard_access_counts()
+        accesses = int(counts.sum())
+        gets = sum(s.stats.gets for s in self.shards)
+        hits = sum(s.stats.hits for s in self.shards)
+        misses = sum(s.stats.misses for s in self.shards)
+        evictions = sum(s.stats.evictions for s in self.shards)
+        occupancy = len(self)
+        ideal_share = accesses / self.n_shards if accesses else 0.0
+        return StoreTelemetry(
+            scheme=self.scheme,
+            n_shards=self.n_shards,
+            accesses=accesses,
+            gets=gets,
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            occupancy=occupancy,
+            capacity=self.capacity,
+            hit_rate=hits / accesses if accesses else 0.0,
+            balance=self.balance(),
+            concentration=self.concentration(),
+            tail_load=float(counts.max() / ideal_share) if ideal_share else 0.0,
+            shard_accesses=counts.tolist(),
+        )
+
+    def __repr__(self) -> str:
+        return (f"ShardedStore(scheme={self.scheme!r}, "
+                f"n_shards={self.n_shards}, occupancy={len(self)}/"
+                f"{self.capacity})")

@@ -1,0 +1,157 @@
+"""Key→shard routing built from the paper's indexing functions.
+
+A :class:`ShardSelector` wraps any :class:`~repro.hashing.base.
+IndexingFunction` and routes store keys to shards exactly the way the
+paper routes block addresses to cache sets.  The selector duck-types
+the analysis surface of an indexing function (``index`` /
+``index_array`` / ``n_sets`` / ``n_sets_physical``), so every metric in
+:mod:`repro.hashing.analysis` — balance, concentration, sequence
+invariance — accepts a selector unchanged.
+
+Schemes (:data:`STORE_SCHEMES`):
+
+* ``traditional`` — low bits of the key (power-of-two modulo).
+* ``xor`` — tag-xor-index pseudo-random routing.
+* ``pmod`` — modulo the largest prime below the shard count
+  (:func:`repro.mathutil.largest_prime_below`); the pMod adapter.
+* ``pdisp`` / ``pdisp19`` / ``pdisp31`` / ``pdisp37`` — prime
+  displacement with the paper's p = 9 / 19 / 31 / 37 constants.
+
+Non-integer keys (str / bytes) are first folded to a stable 64-bit
+integer with blake2b, so structured integer key streams keep their
+structure (the whole point of the analysis) while arbitrary object keys
+still route deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Union
+
+import numpy as np
+
+from repro.hashing import (
+    IndexingFunction,
+    PrimeDisplacementIndexing,
+    PrimeModuloIndexing,
+    TraditionalIndexing,
+    XorIndexing,
+)
+
+#: Keys a store accepts.
+StoreKey = Union[int, str, bytes]
+
+_KEY_MASK = (1 << 64) - 1
+
+
+def canonical_key(key: StoreKey) -> int:
+    """Fold a store key to the 64-bit integer the selector hashes.
+
+    Integers pass through (masked to 64 bits, so negative keys are
+    well-defined); str/bytes are digested with blake2b, which is stable
+    across processes — unlike the builtin ``hash``.
+    """
+    if isinstance(key, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("bool is not a valid store key")
+    if isinstance(key, int):
+        return key & _KEY_MASK
+    if isinstance(key, str):
+        key = key.encode()
+    if isinstance(key, bytes):
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+    raise TypeError(f"unsupported store key type: {type(key).__name__}")
+
+
+class ShardSelector:
+    """Routes store keys to shards through one indexing function.
+
+    Attributes:
+        indexing: the wrapped :class:`IndexingFunction`.
+        scheme: the registry key this selector was built from.
+        n_shards: number of *usable* shards (= ``indexing.n_sets``;
+            below the physical count for pMod).
+    """
+
+    def __init__(self, indexing: IndexingFunction, scheme: str = None):
+        self.indexing = indexing
+        self.scheme = scheme or indexing.name
+        self.name = indexing.name
+
+    # -- routing -------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.indexing.n_sets
+
+    @property
+    def n_shards_physical(self) -> int:
+        return self.indexing.n_sets_physical
+
+    def shard(self, key: StoreKey) -> int:
+        """Shard id for one key."""
+        return self.indexing.index(canonical_key(key))
+
+    def shard_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized routing of an integer key batch (the hot path)."""
+        return self.indexing.index_array(np.asarray(keys, dtype=np.uint64))
+
+    # -- repro.hashing.analysis compatibility --------------------------
+
+    @property
+    def n_sets(self) -> int:
+        return self.indexing.n_sets
+
+    @property
+    def n_sets_physical(self) -> int:
+        return self.indexing.n_sets_physical
+
+    def index(self, block_address: int) -> int:
+        return self.indexing.index(block_address)
+
+    def index_array(self, block_addresses: np.ndarray) -> np.ndarray:
+        return self.indexing.index_array(block_addresses)
+
+    def __repr__(self) -> str:
+        return (f"ShardSelector(scheme={self.scheme!r}, "
+                f"n_shards={self.n_shards}/{self.n_shards_physical})")
+
+
+def _pdisp_factory(displacement: int) -> Callable[[int], IndexingFunction]:
+    def build(n_shards_physical: int) -> IndexingFunction:
+        return PrimeDisplacementIndexing(n_shards_physical,
+                                         displacement=displacement)
+
+    return build
+
+
+#: scheme key -> IndexingFunction factory taking the physical shard count.
+STORE_SCHEMES: Dict[str, Callable[[int], IndexingFunction]] = {
+    "traditional": TraditionalIndexing,
+    "xor": XorIndexing,
+    "pmod": PrimeModuloIndexing,
+    "pdisp": _pdisp_factory(9),
+    "pdisp19": _pdisp_factory(19),
+    "pdisp31": _pdisp_factory(31),
+    "pdisp37": _pdisp_factory(37),
+}
+
+
+def make_selector(scheme: str, n_shards_physical: int) -> ShardSelector:
+    """Build a selector by scheme key over a power-of-two shard count.
+
+    ``pmod`` selects :func:`~repro.mathutil.largest_prime_below` the
+    physical count as its usable shard count, exactly as the paper's L2
+    does with its set count.
+    """
+    try:
+        factory = STORE_SCHEMES[scheme]
+    except KeyError:
+        known = ", ".join(sorted(STORE_SCHEMES))
+        raise KeyError(f"unknown store scheme {scheme!r}; known: {known}") from None
+    return ShardSelector(factory(n_shards_physical), scheme=scheme)
+
+
+def available_selectors() -> List[str]:
+    """Registered store scheme keys, sorted."""
+    return sorted(STORE_SCHEMES)

@@ -1,0 +1,57 @@
+"""Replay driver: serial/concurrent equivalence and reporting."""
+
+import pytest
+
+from repro.store import ShardedStore, make_traffic, replay
+from repro.store.traffic import Request
+
+
+def _fresh_store(scheme="pmod"):
+    return ShardedStore(n_shards=16, scheme=scheme, shard_capacity=64)
+
+
+class TestReplay:
+    def test_serial_report_fields(self):
+        requests = make_traffic("zipfian", 1000, seed=0)
+        report = replay(_fresh_store(), requests, workers=1)
+        assert report.n_requests == 1000
+        assert report.workers == 1
+        assert report.elapsed_s > 0
+        assert report.throughput_rps > 0
+        assert report.telemetry.accesses == 1000
+
+    def test_concurrent_routing_matches_serial(self):
+        """Shard routing is deterministic, so the access histogram —
+        and therefore balance — is identical under concurrency."""
+        requests = make_traffic("strided", 2000, seed=0)
+        serial = replay(_fresh_store(), requests, workers=1)
+        threaded = replay(_fresh_store(), requests, workers=4)
+        assert (threaded.telemetry.shard_accesses
+                == serial.telemetry.shard_accesses)
+        assert threaded.telemetry.balance == pytest.approx(
+            serial.telemetry.balance)
+        assert threaded.telemetry.accesses == 2000
+
+    def test_concurrent_occupancy_bounded(self):
+        store = ShardedStore(n_shards=4, scheme="traditional",
+                             shard_capacity=16)
+        requests = make_traffic("zipfian", 4000, n_keys=2048, seed=2)
+        replay(store, requests, workers=8)
+        assert len(store) <= store.capacity
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown request op"):
+            replay(_fresh_store(), [Request("frobnicate", 1)])
+
+    def test_empty_stream(self):
+        report = replay(_fresh_store(), [])
+        assert report.n_requests == 0
+        assert report.telemetry.accesses == 0
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+
+        requests = make_traffic("pow2", 200, seed=0)
+        payload = replay(_fresh_store(), requests, workers=2).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["telemetry"]["accesses"] == 200

@@ -1,0 +1,109 @@
+"""ShardSelector: scheme registry, key folding, routing, analysis duck-typing."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import balance, strided_addresses
+from repro.mathutil import largest_prime_below
+from repro.store import ShardSelector, available_selectors, make_selector
+from repro.store.selector import canonical_key
+
+
+class TestRegistry:
+    def test_available_selectors(self):
+        assert available_selectors() == [
+            "pdisp", "pdisp19", "pdisp31", "pdisp37", "pmod",
+            "traditional", "xor",
+        ]
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError, match="unknown store scheme"):
+            make_selector("nope", 64)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            make_selector("traditional", 60)
+
+    def test_pmod_uses_prime_shard_count(self):
+        selector = make_selector("pmod", 64)
+        assert selector.n_shards == largest_prime_below(64) == 61
+        assert selector.n_shards_physical == 64
+
+    @pytest.mark.parametrize("scheme,p", [
+        ("pdisp", 9), ("pdisp19", 19), ("pdisp31", 31), ("pdisp37", 37),
+    ])
+    def test_pdisp_constants_are_the_papers(self, scheme, p):
+        selector = make_selector(scheme, 64)
+        assert selector.indexing.displacement == p
+
+
+class TestCanonicalKey:
+    def test_int_passthrough(self):
+        assert canonical_key(12345) == 12345
+
+    def test_negative_int_masked(self):
+        assert canonical_key(-1) == 2**64 - 1
+
+    def test_str_and_bytes_agree(self):
+        assert canonical_key("user:42") == canonical_key(b"user:42")
+
+    def test_str_stable_across_calls(self):
+        assert canonical_key("x") == canonical_key("x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError, match="bool"):
+            canonical_key(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError, match="unsupported"):
+            canonical_key(3.14)
+
+
+class TestRouting:
+    @pytest.mark.parametrize("scheme", available_selectors())
+    def test_shard_in_range(self, scheme):
+        selector = make_selector(scheme, 64)
+        for key in (0, 1, 63, 64, 2**32 - 1, "a-string-key"):
+            assert 0 <= selector.shard(key) < selector.n_shards
+
+    @pytest.mark.parametrize("scheme", available_selectors())
+    def test_shard_array_matches_scalar(self, scheme):
+        selector = make_selector(scheme, 64)
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 2**48, size=2048, dtype=np.uint64)
+        vec = selector.shard_array(keys)
+        assert vec.tolist() == [selector.shard(int(k)) for k in keys]
+
+    def test_traditional_is_low_bits(self):
+        selector = make_selector("traditional", 64)
+        assert selector.shard(1000) == 1000 % 64
+
+    def test_pmod_is_prime_modulo(self):
+        selector = make_selector("pmod", 64)
+        assert selector.shard(1000) == 1000 % 61
+
+
+class TestAnalysisCompatibility:
+    """analysis metrics accept a selector exactly like an indexing."""
+
+    def test_balance_of_even_stride(self):
+        trad = make_selector("traditional", 64)
+        pmod = make_selector("pmod", 64)
+        addrs = strided_addresses(64, 4096)
+        assert balance(trad, addrs) > 10 * balance(pmod, addrs)
+
+    def test_index_surface_delegates(self):
+        selector = make_selector("xor", 64)
+        assert selector.n_sets == selector.indexing.n_sets
+        assert selector.n_sets_physical == 64
+        assert selector.index(777) == selector.indexing.index(777)
+
+    def test_repr_mentions_scheme(self):
+        assert "pmod" in repr(make_selector("pmod", 64))
+
+    def test_wraps_existing_indexing(self):
+        from repro.hashing import XorIndexing
+
+        selector = ShardSelector(XorIndexing(128))
+        assert selector.scheme == "XOR"
+        assert selector.n_shards == 128

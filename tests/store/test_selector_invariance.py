@@ -1,0 +1,62 @@
+"""Sequence invariance (paper §3, Property 2) of the ShardSelector adapters.
+
+The analysis-layer checker accepts a selector directly (it duck-types
+the IndexingFunction surface), so the paper's property transfers
+verbatim to shard routing on strided key streams: traditional and pMod
+are sequence invariant on every stride; XOR is not; pDisp is
+*partially* invariant — strictly fewer violations than XOR over the
+same streams, which is what keeps its concentration near pMod's
+(Section 3.3).
+"""
+
+import pytest
+
+from repro.hashing import (
+    is_sequence_invariant,
+    sequence_invariance_violations,
+    strided_addresses,
+)
+from repro.store import make_selector, make_traffic, request_keys
+
+N_SHARDS = 64
+
+#: Strided key streams the property is checked over (odd, even,
+#: around-the-shard-count, and power-of-two strides).
+STRIDES = (1, 2, 63, 64, 65, 96, 128)
+
+
+def _violations(selector):
+    return sum(
+        sequence_invariance_violations(selector, strided_addresses(s, 2048))
+        for s in STRIDES
+    )
+
+
+@pytest.mark.parametrize("scheme", ["traditional", "pmod"])
+@pytest.mark.parametrize("stride", STRIDES)
+def test_modulo_selectors_are_sequence_invariant(scheme, stride):
+    selector = make_selector(scheme, N_SHARDS)
+    assert is_sequence_invariant(selector, strided_addresses(stride, 2048))
+
+
+def test_xor_selector_violates_invariance():
+    assert _violations(make_selector("xor", N_SHARDS)) > 0
+
+
+@pytest.mark.parametrize("scheme", ["pdisp", "pdisp19", "pdisp31", "pdisp37"])
+def test_pdisp_selector_partially_invariant(scheme):
+    """Fewer violations than XOR on the same streams — partial
+    invariance, the §3.3 middle ground."""
+    pdisp = _violations(make_selector(scheme, N_SHARDS))
+    xor = _violations(make_selector("xor", N_SHARDS))
+    assert 0 < pdisp < xor
+
+
+def test_invariance_holds_for_served_strided_traffic():
+    """The property also holds on the store's own strided traffic for
+    pMod — the scheme the store defaults to."""
+    selector = make_selector("pmod", N_SHARDS)
+    for stride in (16, 64, 512):
+        keys = request_keys(
+            make_traffic("strided", 4096, seed=0, stride=stride))
+        assert is_sequence_invariant(selector, keys)

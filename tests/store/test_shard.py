@@ -1,0 +1,114 @@
+"""Shard: bounded set-associative key→value segment."""
+
+import pytest
+
+from repro.store import Shard
+
+
+class TestBasicOps:
+    def test_put_get_round_trip(self):
+        shard = Shard(capacity=64)
+        shard.put(1, "one")
+        assert shard.get(1) == "one"
+        assert shard.stats.hits == 1
+
+    def test_get_miss_returns_default(self):
+        shard = Shard(capacity=64)
+        assert shard.get(99) is None
+        assert shard.get(99, default="fallback") == "fallback"
+        assert shard.stats.misses == 2
+
+    def test_none_is_a_storable_value(self):
+        shard = Shard(capacity=64)
+        shard.put(5, None)
+        assert shard.get(5, default="fallback") is None
+        assert shard.contains(5)
+
+    def test_put_updates_in_place(self):
+        shard = Shard(capacity=64)
+        shard.put(1, "a")
+        assert shard.put(1, "b") is None
+        assert shard.get(1) == "b"
+        assert shard.occupancy == 1
+
+    def test_delete(self):
+        shard = Shard(capacity=64)
+        shard.put(1, "a")
+        assert shard.delete(1) is True
+        assert shard.delete(1) is False
+        assert not shard.contains(1)
+        assert shard.occupancy == 0
+
+    def test_len_tracks_occupancy(self):
+        shard = Shard(capacity=64)
+        for k in range(10):
+            shard.put(k, k)
+        assert len(shard) == 10
+
+    def test_items_lists_live_entries(self):
+        shard = Shard(capacity=64)
+        shard.put(3, "c")
+        shard.put(7, "g")
+        assert sorted(shard.items()) == [(3, "c"), (7, "g")]
+
+
+class TestCapacityBound:
+    def test_never_exceeds_capacity(self):
+        shard = Shard(capacity=32, assoc=4)
+        for k in range(1000):
+            shard.put(k, k)
+        assert len(shard) <= shard.capacity == 32
+
+    def test_eviction_returns_victim_key(self):
+        shard = Shard(capacity=4, assoc=4)  # one set of 4 ways
+        for k in range(4):
+            assert shard.put(k, k) is None
+        evicted = shard.put(4, 4)
+        assert evicted == 0  # LRU victim of the single set
+        assert shard.stats.evictions == 1
+
+    def test_lru_keeps_recent(self):
+        shard = Shard(capacity=4, assoc=4)
+        for k in range(4):
+            shard.put(k, k)
+        shard.get(0)  # refresh 0; 1 becomes LRU
+        assert shard.put(4, 4) == 1
+
+    def test_geometry(self):
+        shard = Shard(capacity=64, assoc=8)
+        assert shard.n_sets == 8
+        assert shard.capacity == 64
+
+    def test_assoc_clamped_to_capacity(self):
+        shard = Shard(capacity=2, assoc=8)
+        assert shard.assoc == 2
+        assert shard.capacity == 2
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Shard(capacity=0)
+        with pytest.raises(ValueError):
+            Shard(capacity=8, assoc=0)
+
+
+class TestReplacementPolicies:
+    @pytest.mark.parametrize("policy", ["lru", "plru", "nru", "fifo", "random"])
+    def test_all_policies_serve(self, policy):
+        shard = Shard(capacity=16, assoc=4, replacement=policy)
+        for k in range(200):
+            shard.put(k, k)
+            shard.get(k % 50)
+        assert len(shard) <= 16
+        assert shard.stats.evictions > 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError, match="unknown replacement"):
+            Shard(capacity=16, replacement="nope")
+
+    def test_deleted_frame_refilled_before_eviction(self):
+        shard = Shard(capacity=4, assoc=4)
+        for k in range(4):
+            shard.put(k, k)
+        shard.delete(2)
+        assert shard.put(9, 9) is None  # reuses the freed frame
+        assert shard.stats.evictions == 0
