@@ -5,7 +5,7 @@ JOBS ?= 4
 SCALE ?= 1.0
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test verify bench store-bench eval figures report examples clean
+.PHONY: install test verify bench store-bench obs-check eval figures report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,6 +23,13 @@ bench:
 # Sharded-store replay benchmark; writes BENCH_store.json at the root.
 store-bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_store_sharding.py --benchmark-only
+
+# Observability gate: the obs test suite plus the guard that the
+# disabled registry adds <2% to fastsim.simulate_misses (writes
+# BENCH_obs.json at the root).
+obs-check:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/obs -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
 
 # Regenerate every registered table/figure through the uniform
 # registry CLI, persisting results under $(CACHE_DIR) so re-runs are

@@ -30,11 +30,13 @@ divergence is a bug in one of the two.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
 
 from repro.hashing.base import IndexingFunction
+from repro.obs import get_registry
 
 #: Cap on the scratch matrix used by one windowed-count batch.
 _BATCH_ELEMENT_LIMIT = 1 << 22
@@ -236,7 +238,32 @@ def simulate_misses(
     Vectorized; bit-identical to driving the stream through
     :class:`~repro.cache.setassoc.SetAssociativeCache` with LRU
     replacement (see :func:`simulate_misses_reference`).
+
+    Observability lives only at this boundary (one counter and one
+    wall-time observation per *call*, nothing per access), and only
+    when the registry is enabled; ``benchmarks/bench_obs_overhead.py``
+    guards the disabled path at <2% over the bare core.
     """
+    registry = get_registry()
+    if not registry.enabled:
+        return _simulate_misses_core(indexing, block_addresses, assoc,
+                                     per_set_counters)
+    start = perf_counter()
+    result = _simulate_misses_core(indexing, block_addresses, assoc,
+                                   per_set_counters)
+    registry.counter("fastsim.calls").inc()
+    registry.histogram("fastsim.wall_s").observe(perf_counter() - start)
+    return result
+
+
+def _simulate_misses_core(
+    indexing: IndexingFunction,
+    block_addresses: np.ndarray,
+    assoc: int,
+    per_set_counters: bool = True,
+) -> FastSimResult:
+    """The uninstrumented simulation body (also the overhead-guard
+    baseline)."""
     if assoc < 1:
         raise ValueError("associativity must be positive")
     blocks = np.ascontiguousarray(block_addresses, dtype=np.uint64)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -42,6 +43,7 @@ import numpy as np
 
 from repro.cpu.simulator import ExecutionResult
 from repro.engine.key import RESULT_SCHEMA_VERSION, SimulationKey
+from repro.obs import get_registry
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -55,9 +57,18 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.corrupt = 0
 
     def _path(self, key: SimulationKey, suffix: str) -> Path:
         return self.root / f"{key.stem}{suffix}"
+
+    def _hit(self) -> None:
+        self.hits += 1
+        get_registry().counter("engine.cache.hits").inc()
+
+    def _miss(self) -> None:
+        self.misses += 1
+        get_registry().counter("engine.cache.misses").inc()
 
     def _publish(self, path: Path, write) -> None:
         """Atomically create ``path`` via a sibling temp file."""
@@ -69,9 +80,24 @@ class ResultCache:
         finally:
             tmp.unlink(missing_ok=True)
         self.writes += 1
+        get_registry().counter("engine.cache.writes").inc()
 
     def _discard(self, path: Path) -> None:
-        """Drop a corrupt entry so the next run rewrites it cleanly."""
+        """Drop a corrupt entry so the next run rewrites it cleanly.
+
+        Corruption degrades to a re-run, never an exception — but a
+        degrading cache must not degrade *silently*: every discarded
+        entry counts on ``corrupt`` (mirrored to the metrics registry)
+        and emits one warning.
+        """
+        self.corrupt += 1
+        get_registry().counter("engine.cache.corrupt").inc()
+        warnings.warn(
+            f"repro result cache: discarding corrupt entry {path.name} "
+            f"(total corrupt entries this cache: {self.corrupt})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
         try:
             path.unlink(missing_ok=True)
         except OSError:
@@ -91,18 +117,18 @@ class ResultCache:
             with open(path) as stream:
                 payload = json.load(stream)
         except FileNotFoundError:
-            self.misses += 1
+            self._miss()
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.misses += 1
+            self._miss()
             self._discard(path)
             return None
         if not isinstance(payload, dict) or field not in payload:
-            self.misses += 1
+            self._miss()
             self._discard(path)
             return None
         if payload.get("key") != asdict(key):
-            self.misses += 1  # fingerprint collision or stale schema
+            self._miss()  # fingerprint collision or stale schema
             return None
         return payload
 
@@ -117,10 +143,10 @@ class ResultCache:
         try:
             result = ExecutionResult(**payload["result"])
         except TypeError:  # truncated or hand-edited field set
-            self.misses += 1
+            self._miss()
             self._discard(path)
             return None
-        self.hits += 1
+        self._hit()
         return result
 
     def put(self, key: SimulationKey, result: ExecutionResult) -> Path:
@@ -147,7 +173,7 @@ class ResultCache:
                                       key, "payload")
         if payload is None:
             return None
-        self.hits += 1
+        self._hit()
         return payload["payload"]
 
     def put_payload(self, key: SimulationKey, payload: dict) -> Path:
@@ -179,13 +205,13 @@ class ResultCache:
             with np.load(path) as archive:
                 arrays = {name: archive[name] for name in archive.files}
         except FileNotFoundError:
-            self.misses += 1
+            self._miss()
             return None
         except Exception:  # zipfile/pickle raise a zoo of types here
-            self.misses += 1
+            self._miss()
             self._discard(path)
             return None
-        self.hits += 1
+        self._hit()
         return arrays
 
     def put_arrays(self, key: SimulationKey, **arrays: np.ndarray) -> Path:
@@ -203,4 +229,5 @@ class ResultCache:
 
     def __repr__(self) -> str:
         return (f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
-                f"misses={self.misses}, writes={self.writes})")
+                f"misses={self.misses}, writes={self.writes}, "
+                f"corrupt={self.corrupt})")

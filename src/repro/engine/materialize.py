@@ -13,6 +13,7 @@ from collections import Counter
 from typing import Dict, List
 
 from repro.engine.key import RunConfig
+from repro.obs import get_registry, trace_span
 from repro.trace.records import Trace
 from repro.workloads import get_workload
 
@@ -30,11 +31,13 @@ class TraceMaterializer:
         """The (possibly memoized) trace for one workload."""
         trace = self._traces.get(workload)
         if trace is None:
-            trace = get_workload(workload).trace(
-                scale=self.config.scale, seed=self.config.seed
-            )
+            with trace_span("materialize", workload=workload):
+                trace = get_workload(workload).trace(
+                    scale=self.config.scale, seed=self.config.seed
+                )
             self._traces[workload] = trace
             self.build_counts[workload] += 1
+            get_registry().counter("engine.trace.builds").inc()
         return trace
 
     def materialized(self) -> List[str]:

@@ -33,6 +33,7 @@ from repro.cpu.simulator import ExecutionResult, simulate_scheme
 from repro.engine.cache import ResultCache
 from repro.engine.key import RunConfig, SimulationKey
 from repro.engine.materialize import TraceMaterializer
+from repro.obs import get_registry, trace_span
 from repro.workloads import get_workload
 
 #: One parallel task: simulate every listed scheme of one workload.
@@ -131,8 +132,12 @@ class SimulationEngine:
     def _simulate(self, workload: str, scheme: str) -> ExecutionResult:
         trace = self.traces.get(workload)
         self.sim_count += 1
-        return simulate_scheme(trace, scheme, config=self.machine,
-                               skew_replacement=self.config.skew_replacement)
+        get_registry().counter("engine.sim.runs").inc()
+        with trace_span("simulate", workload=workload, scheme=scheme):
+            return simulate_scheme(
+                trace, scheme, config=self.machine,
+                skew_replacement=self.config.skew_replacement,
+            )
 
     def _store(self, cell: Tuple[str, str], result: ExecutionResult) -> None:
         self._results[cell] = result
@@ -170,26 +175,32 @@ class SimulationEngine:
         workloads = list(workloads)
         schemes = list(schemes)
         jobs = self.jobs if jobs is None else jobs
-        missing = self.missing_cells(workloads, schemes)
-        if missing:
-            if jobs and jobs > 1:
-                tasks: List[_WorkloadTask] = [
-                    (workload, tuple(todo), self.config, self.machine)
-                    for workload, todo in missing.items()
-                ]
-                max_workers = min(jobs, len(tasks)) or 1
-                with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                    for workload, cells in pool.map(
-                        _simulate_workload_schemes, tasks
-                    ):
-                        self.sim_count += len(cells)
-                        for scheme, result in cells:
-                            self._store((workload, scheme), result)
-            else:
-                for workload, todo in missing.items():
-                    for scheme in todo:
-                        self._store((workload, scheme),
-                                    self._simulate(workload, scheme))
+        with trace_span("run_grid", workloads=len(workloads),
+                        schemes=len(schemes)):
+            missing = self.missing_cells(workloads, schemes)
+            if missing:
+                if jobs and jobs > 1:
+                    tasks: List[_WorkloadTask] = [
+                        (workload, tuple(todo), self.config, self.machine)
+                        for workload, todo in missing.items()
+                    ]
+                    max_workers = min(jobs, len(tasks)) or 1
+                    with trace_span("parallel_grid", tasks=len(tasks),
+                                    jobs=max_workers), \
+                            ProcessPoolExecutor(max_workers=max_workers) as pool:
+                        for workload, cells in pool.map(
+                            _simulate_workload_schemes, tasks
+                        ):
+                            self.sim_count += len(cells)
+                            get_registry().counter(
+                                "engine.sim.runs").inc(len(cells))
+                            for scheme, result in cells:
+                                self._store((workload, scheme), result)
+                else:
+                    for workload, todo in missing.items():
+                        for scheme in todo:
+                            self._store((workload, scheme),
+                                        self._simulate(workload, scheme))
         return {
             (w, s): self._results[(w, s)] for w in workloads for s in schemes
         }

@@ -6,6 +6,7 @@
     python -m repro.experiments <name> [--scale S] [--seed N]
         [--skew-replacement P] [--jobs J] [--cache-dir DIR]
         [--param KEY=VALUE ...] [--artifact PATH]
+        [--metrics-out PATH] [--trace]
 
 Every registered experiment runs through the same path: build an
 artifact (the JSON document described in :mod:`repro.engine.registry`),
@@ -13,6 +14,11 @@ optionally write it to ``--artifact``, then render it to the terminal.
 ``--param`` forwards experiment-specific knobs (e.g.
 ``--param workload=bt`` for the sweep experiments); values parse as
 JSON when possible, otherwise as strings.
+
+``--metrics-out PATH`` turns on the :mod:`repro.obs` layer for the
+run and dumps the metrics + span snapshot (schema in
+``docs/observability.md``) to PATH next to the artifact; ``--trace``
+turns it on too and prints the rendered span tree after the report.
 """
 
 from __future__ import annotations
@@ -28,6 +34,13 @@ from repro.engine import (
     run_experiment,
 )
 from repro.experiments.common import context_from_args, standard_argparser
+from repro.obs import (
+    enable_observability,
+    get_registry,
+    get_tracer,
+    trace_span,
+    write_snapshot,
+)
 
 
 def parse_params(items: List[str]) -> Dict[str, Any]:
@@ -64,6 +77,12 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--artifact", default=None, metavar="PATH",
                         help="also write the artifact JSON to PATH "
                              "('-' = stdout instead of the rendering)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="enable observability and write the metrics "
+                             "+ span snapshot JSON to PATH")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable observability and print the span "
+                             "tree after the report")
     args = parser.parse_args(argv)
     if args.experiment == "list":
         print(list_experiments())
@@ -72,16 +91,28 @@ def main(argv: Optional[List[str]] = None) -> None:
         get_experiment(args.experiment)
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}") from None
+    observed = bool(args.metrics_out or args.trace)
+    if observed:
+        enable_observability()
     context = context_from_args(args, **parse_params(args.param))
-    artifact = run_experiment(args.experiment, context)
+    with trace_span("experiment", experiment=args.experiment):
+        artifact = run_experiment(args.experiment, context)
     if args.artifact == "-":
         json.dump(artifact, sys.stdout, indent=1)
         print()
-        return
-    if args.artifact:
-        with open(args.artifact, "w") as stream:
-            json.dump(artifact, stream, indent=1)
-    print(render_artifact(artifact))
+    else:
+        if args.artifact:
+            with open(args.artifact, "w") as stream:
+                json.dump(artifact, stream, indent=1)
+        print(render_artifact(artifact))
+    if args.metrics_out:
+        path = write_snapshot(args.metrics_out, get_registry(), get_tracer())
+        print(f"metrics snapshot written to {path}", file=sys.stderr)
+    if args.trace:
+        # keep stdout parseable when the artifact JSON went to '-'
+        stream = sys.stderr if args.artifact == "-" else sys.stdout
+        print(file=stream)
+        print(get_tracer().render(), file=stream)
 
 
 if __name__ == "__main__":

@@ -115,7 +115,8 @@ def render(data: Mapping) -> str:
     for pattern, cells in data["patterns"].items():
         rows = [
             {**payload["telemetry"],
-             "throughput_rps": payload["throughput_rps"]}
+             "throughput_rps": payload["throughput_rps"],
+             "chunk_skew": payload.get("chunk_skew")}
             for payload in cells.values()
         ]
         sections.append(shard_balance_table(

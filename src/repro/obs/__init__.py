@@ -1,0 +1,102 @@
+"""`repro.obs` — unified metrics, tracing, and profiling layer.
+
+One process-wide :class:`MetricsRegistry` (counters, gauges, windowed
+p50/p95/p99 histograms, labeled series), one :class:`SpanTracer`
+(nested wall-time spans via ``perf_counter``), and pluggable sinks
+(JSON snapshot, Prometheus text exposition, human-readable tables).
+The engine (:mod:`repro.engine`), the sharded store
+(:mod:`repro.store`) and the experiment CLI report into it; see
+``docs/observability.md`` for the metric naming conventions and the
+snapshot schema.
+
+Everything starts **disabled** and costs a no-op call on the hot
+paths; ``python -m repro.experiments <name> --metrics-out PATH
+[--trace]`` (or :func:`enable_observability`) switches it on for one
+run and dumps the snapshot next to the artifact.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL,
+    NullInstrument,
+    get_registry,
+    set_registry,
+)
+from repro.obs.sinks import (
+    SNAPSHOT_SCHEMA_VERSION,
+    metrics_snapshot,
+    metrics_table,
+    to_prometheus,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.obs.spans import Span, SpanTracer, get_tracer, set_tracer, trace_span
+
+__all__ = [
+    "CORE_COUNTERS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL",
+    "NullInstrument",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "Span",
+    "SpanTracer",
+    "declare_core_metrics",
+    "disable_observability",
+    "enable_observability",
+    "get_registry",
+    "get_tracer",
+    "metrics_snapshot",
+    "metrics_table",
+    "set_registry",
+    "set_tracer",
+    "to_prometheus",
+    "trace_span",
+    "validate_snapshot",
+    "write_snapshot",
+]
+
+#: Counters every instrumented run reports, pre-declared at zero when
+#: observability is enabled so snapshots are schema-stable even for
+#: runs that never touch a layer (e.g. an analysis-only experiment
+#: with no result cache configured).
+CORE_COUNTERS = (
+    "engine.cache.hits",
+    "engine.cache.misses",
+    "engine.cache.writes",
+    "engine.cache.corrupt",
+    "engine.sim.runs",
+    "engine.trace.builds",
+)
+
+
+def declare_core_metrics(registry: MetricsRegistry = None) -> None:
+    """Materialize :data:`CORE_COUNTERS` (at 0) on ``registry``."""
+    registry = registry or get_registry()
+    for name in CORE_COUNTERS:
+        registry.counter(name)
+
+
+def enable_observability(clear: bool = True):
+    """Enable the process-wide registry and tracer; returns both.
+
+    ``clear`` resets any series/spans accumulated by a previous
+    enable, so one CLI run snapshots only its own events.
+    """
+    registry = get_registry().enable()
+    tracer = get_tracer().enable()
+    if clear:
+        registry.clear()
+        tracer.clear()
+    declare_core_metrics(registry)
+    return registry, tracer
+
+
+def disable_observability():
+    """Disable the process-wide registry and tracer; returns both."""
+    return get_registry().disable(), get_tracer().disable()

@@ -1,0 +1,224 @@
+"""Lightweight span tracer: nested wall-time via ``perf_counter``.
+
+Usage::
+
+    with trace_span("materialize", workload="tree"):
+        ...
+
+Spans nest per *thread* (each thread keeps its own open-span stack, so
+the store driver's thread-pool chunks trace correctly side by side);
+finished roots accumulate on the tracer.  Two export shapes:
+
+* :meth:`SpanTracer.flat` — a flat JSON-friendly list, one dict per
+  span with ``depth``/``parent`` indices (the ``spans`` block of the
+  snapshot schema in ``docs/observability.md``);
+* :meth:`SpanTracer.render` — an indented tree with per-span wall
+  times for the terminal (the ``--trace`` output).
+
+Like the metrics registry, the module-level tracer starts disabled and
+:func:`trace_span` then returns one shared no-op context manager —
+the off path costs a function call and an attribute check, nothing
+else.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "SpanTracer", "get_tracer", "set_tracer", "trace_span"]
+
+
+class Span:
+    """One timed region; children are spans opened while it was open."""
+
+    __slots__ = ("name", "labels", "start_s", "duration_s", "children",
+                 "thread")
+
+    def __init__(self, name: str, labels: Dict[str, Any], start_s: float,
+                 thread: str):
+        self.name = name
+        self.labels = labels
+        self.start_s = start_s           # relative to the tracer epoch
+        self.duration_s: Optional[float] = None  # None while open
+        self.children: List["Span"] = []
+        self.thread = thread
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "thread": self.thread,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, start={self.start_s:.6f}, "
+                f"duration={self.duration_s})")
+
+
+class _NullSpanContext:
+    """Shared no-op context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on its tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", name: str,
+                 labels: Dict[str, Any]):
+        self._tracer = tracer
+        self._span = tracer._open(name, labels)
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+
+class SpanTracer:
+    """Collects a forest of spans, one stack per thread."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.epoch = time.perf_counter()
+        self.roots: List[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self) -> "SpanTracer":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "SpanTracer":
+        self.enabled = False
+        return self
+
+    def clear(self) -> None:
+        with self._roots_lock:
+            self.roots = []
+        self.epoch = time.perf_counter()
+
+    # -- recording -----------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, name: str, labels: Dict[str, Any]) -> Span:
+        span = Span(name, labels, time.perf_counter() - self.epoch,
+                    threading.current_thread().name)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:  # no open parent on this thread: a new root
+            with self._roots_lock:
+                self.roots.append(span)
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.duration_s = (time.perf_counter() - self.epoch) - span.start_s
+        stack = self._stack()
+        # unwind to this span: exceptions may have skipped inner closes
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+
+    def span(self, name: str, **labels: Any):
+        """Context manager timing one region; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _SpanContext(self, name, labels)
+
+    # -- export --------------------------------------------------------
+
+    def flat(self) -> List[Dict[str, Any]]:
+        """Depth-first flat list; ``parent`` is the parent's list index
+        (None for roots) so the JSON round-trips the tree exactly."""
+        rows: List[Dict[str, Any]] = []
+
+        def walk(span: Span, depth: int, parent: Optional[int]) -> None:
+            index = len(rows)
+            rows.append({**span.as_dict(), "depth": depth, "parent": parent})
+            for child in span.children:
+                walk(child, depth + 1, index)
+
+        with self._roots_lock:
+            roots = list(self.roots)
+        for root in roots:
+            walk(root, 0, None)
+        return rows
+
+    def render(self) -> str:
+        """Indented tree with wall times, for terminal output."""
+        lines: List[str] = []
+
+        def fmt(span: Span) -> str:
+            labels = " ".join(f"{k}={v}" for k, v in span.labels.items())
+            duration = ("   (open)" if span.duration_s is None
+                        else f"  {span.duration_s * 1e3:10.2f} ms")
+            return f"{span.name}{' ' + labels if labels else ''}{duration}"
+
+        def walk(span: Span, prefix: str, tail: bool, root: bool) -> None:
+            if root:
+                lines.append(fmt(span))
+                child_prefix = ""
+            else:
+                lines.append(f"{prefix}{'`- ' if tail else '|- '}{fmt(span)}")
+                child_prefix = prefix + ("   " if tail else "|  ")
+            for i, child in enumerate(span.children):
+                walk(child, child_prefix, i == len(span.children) - 1, False)
+
+        with self._roots_lock:
+            roots = list(self.roots)
+        for root in roots:
+            walk(root, "", True, True)
+        return "\n".join(lines) if lines else "(no spans recorded)"
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"SpanTracer({state}, roots={len(self.roots)})"
+
+
+#: Process-wide default tracer; disabled until observability is on.
+_global_tracer = SpanTracer(enabled=False)
+
+
+def get_tracer() -> SpanTracer:
+    """The process-wide tracer (disabled by default)."""
+    return _global_tracer
+
+
+def set_tracer(tracer: SpanTracer) -> SpanTracer:
+    """Replace the process-wide tracer; returns the previous one."""
+    global _global_tracer
+    previous = _global_tracer
+    _global_tracer = tracer
+    return previous
+
+
+def trace_span(name: str, **labels: Any):
+    """Span on the process-wide tracer (no-op while tracing is off)."""
+    return _global_tracer.span(name, **labels)

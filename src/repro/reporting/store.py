@@ -27,11 +27,14 @@ def shard_balance_table(rows: Sequence[Mapping], title: str = None) -> str:
 
     Each row needs ``scheme`` plus the telemetry fields ``balance``,
     ``concentration``, ``hit_rate``, ``tail_load`` and (optionally)
-    ``throughput_rps``.
+    ``throughput_rps`` and ``chunk_skew`` (slowest replay chunk /
+    mean — the straggler column; shown only when some row carries it,
+    so pre-straggler artifacts render unchanged).
     """
+    with_skew = any(row.get("chunk_skew") is not None for row in rows)
     body = []
     for row in rows:
-        body.append([
+        cells = [
             row["scheme"],
             _fmt(row["balance"]),
             _fmt(row["concentration"], "{:.2f}"),
@@ -39,13 +42,16 @@ def shard_balance_table(rows: Sequence[Mapping], title: str = None) -> str:
             _fmt(row["tail_load"], "{:.2f}"),
             _fmt(row.get("throughput_rps"), "{:,.0f}")
             if row.get("throughput_rps") is not None else "-",
-        ])
-    return format_table(
-        ["scheme", "balance", "concentration", "hit rate", "tail load",
-         "req/s"],
-        body,
-        title=title,
-    )
+        ]
+        if with_skew:
+            cells.append(_fmt(row.get("chunk_skew"), "{:.2f}")
+                         if row.get("chunk_skew") is not None else "-")
+        body.append(cells)
+    headers = ["scheme", "balance", "concentration", "hit rate", "tail load",
+               "req/s"]
+    if with_skew:
+        headers.append("chunk skew")
+    return format_table(headers, body, title=title)
 
 
 def shard_balance_chart(rows: Sequence[Mapping], title: str = None,

@@ -6,17 +6,38 @@ in parallel) and reports what a serving system reports: wall time,
 throughput, hit rate, and the *tail* per-shard load — the metric a
 badly balanced selector hurts first, because the hottest shard's lock
 is the whole store's ceiling.
+
+Each worker chunk's wall time is recorded individually
+(``chunk_wall_s``), so a straggler — one chunk whose keys collapse
+onto a hot shard and serialize behind its lock — is attributable
+instead of averaged away; ``chunk_skew`` (slowest / mean) is the
+one-number summary the store experiment table shows.  With
+observability enabled the chunk times also land on the
+``store.replay.chunk_s`` registry histogram.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
+from repro.obs import get_registry, trace_span
 from repro.store.engine import ShardedStore, StoreTelemetry
 from repro.store.traffic import Request
+
+
+def chunk_skew(chunk_wall_s: Sequence[float]) -> float:
+    """Slowest chunk over mean chunk time (1.0 = perfectly even).
+
+    NaN-free: an empty or degenerate list reports 1.0, the no-skew
+    value, so tables and JSON stay clean.
+    """
+    times = [t for t in chunk_wall_s if t > 0]
+    if not times:
+        return 1.0
+    return max(times) * len(times) / sum(times)
 
 
 @dataclass(frozen=True)
@@ -28,6 +49,11 @@ class ReplayReport:
     elapsed_s: float
     throughput_rps: float
     telemetry: StoreTelemetry
+    chunk_wall_s: List[float] = field(default_factory=list)
+
+    @property
+    def chunk_skew(self) -> float:
+        return chunk_skew(self.chunk_wall_s)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -35,11 +61,15 @@ class ReplayReport:
             "workers": self.workers,
             "elapsed_s": self.elapsed_s,
             "throughput_rps": self.throughput_rps,
+            "chunk_wall_s": list(self.chunk_wall_s),
+            "chunk_skew": self.chunk_skew,
             "telemetry": self.telemetry.as_dict(),
         }
 
 
-def _serve(store: ShardedStore, requests: Sequence[Request]) -> None:
+def _serve(store: ShardedStore, requests: Sequence[Request]) -> float:
+    """Serve one chunk; returns its wall time in seconds."""
+    start = time.perf_counter()
     get, put, delete = store.get, store.put, store.delete
     for request in requests:
         if request.op == "get":
@@ -50,6 +80,7 @@ def _serve(store: ShardedStore, requests: Sequence[Request]) -> None:
             delete(request.key)
         else:
             raise ValueError(f"unknown request op {request.op!r}")
+    return time.perf_counter() - start
 
 
 def replay(store: ShardedStore, requests: Sequence[Request],
@@ -64,19 +95,32 @@ def replay(store: ShardedStore, requests: Sequence[Request],
     """
     requests = list(requests)
     start = time.perf_counter()
-    if workers <= 1 or len(requests) < 2:
-        _serve(store, requests)
-    else:
-        chunk = -(-len(requests) // workers)  # ceil division
-        parts = [requests[i:i + chunk] for i in range(0, len(requests), chunk)]
-        with ThreadPoolExecutor(max_workers=len(parts)) as pool:
-            for future in [pool.submit(_serve, store, part) for part in parts]:
-                future.result()
+    with trace_span("replay", scheme=store.scheme, requests=len(requests),
+                    workers=max(1, workers)):
+        if workers <= 1 or len(requests) < 2:
+            chunk_wall_s = [_serve(store, requests)]
+        else:
+            chunk = -(-len(requests) // workers)  # ceil division
+            parts = [requests[i:i + chunk]
+                     for i in range(0, len(requests), chunk)]
+            with ThreadPoolExecutor(max_workers=len(parts)) as pool:
+                chunk_wall_s = [
+                    future.result()
+                    for future in [pool.submit(_serve, store, part)
+                                   for part in parts]
+                ]
     elapsed = time.perf_counter() - start
+    registry = get_registry()
+    if registry.enabled:
+        hist = registry.histogram("store.replay.chunk_s",
+                                  scheme=store.scheme)
+        for wall in chunk_wall_s:
+            hist.observe(wall)
     return ReplayReport(
         n_requests=len(requests),
         workers=max(1, workers),
         elapsed_s=elapsed,
         throughput_rps=len(requests) / elapsed if elapsed > 0 else 0.0,
         telemetry=store.telemetry(),
+        chunk_wall_s=chunk_wall_s,
     )

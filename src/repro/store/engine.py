@@ -23,11 +23,13 @@ import math
 import threading
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.hashing.analysis import balance_from_counts, concentration_from_sets
+from repro.obs import MetricsRegistry, get_registry
 from repro.store.selector import ShardSelector, StoreKey, canonical_key, make_selector
 from repro.store.shard import Shard
 
@@ -99,7 +101,8 @@ class ShardedStore:
     def __init__(self, n_shards: int = 64, scheme: str = "pmod",
                  shard_capacity: int = 512, assoc: int = 8,
                  replacement: str = "lru",
-                 telemetry_window: int = DEFAULT_TELEMETRY_WINDOW):
+                 telemetry_window: int = DEFAULT_TELEMETRY_WINDOW,
+                 registry: Optional[MetricsRegistry] = None):
         self.selector: ShardSelector = make_selector(scheme, n_shards)
         self.shards: List[Shard] = [
             Shard(shard_capacity, assoc=assoc, replacement=replacement,
@@ -108,6 +111,30 @@ class ShardedStore:
         ]
         self._window: deque = deque(maxlen=telemetry_window)
         self._window_lock = threading.Lock()
+        # Registry instruments are resolved once here; with the
+        # registry disabled they are all the shared null instrument and
+        # the `_observed` flag keeps the serving path free of even the
+        # per-request perf_counter calls.
+        self._registry = get_registry() if registry is None else registry
+        self._observed = self._registry.enabled
+        scheme_name = self.selector.scheme
+        self._op_latency = {
+            op: self._registry.histogram("store.op.latency_s",
+                                         scheme=scheme_name, op=op)
+            for op in ("get", "put", "delete")
+        }
+        self._shard_latency = [
+            self._registry.histogram("store.shard.latency_s",
+                                     scheme=scheme_name, shard=i)
+            for i in range(self.selector.n_shards)
+        ]
+        self._shard_occupancy = [
+            self._registry.gauge("store.shard.occupancy",
+                                 scheme=scheme_name, shard=i)
+            for i in range(self.selector.n_shards)
+        ]
+        self._request_counter = self._registry.counter(
+            "store.requests", scheme=scheme_name)
 
     # -- routing -------------------------------------------------------
 
@@ -130,20 +157,42 @@ class ShardedStore:
             self._window.append(shard_id)
         return self.shards[shard_id], canonical
 
+    def _record(self, shard: Shard, op: str, elapsed_s: float) -> None:
+        """Feed one served request into the registry series."""
+        self._request_counter.inc()
+        self._op_latency[op].observe(elapsed_s)
+        self._shard_latency[shard.shard_id].observe(elapsed_s)
+        self._shard_occupancy[shard.shard_id].set(shard.occupancy)
+
     # -- operations ----------------------------------------------------
 
     def get(self, key: StoreKey, default: Any = None) -> Any:
         shard, canonical = self._route(key)
-        return shard.get(canonical, default)
+        if not self._observed:
+            return shard.get(canonical, default)
+        start = perf_counter()
+        value = shard.get(canonical, default)
+        self._record(shard, "get", perf_counter() - start)
+        return value
 
     def put(self, key: StoreKey, value: Any) -> Optional[int]:
         """Store ``value``; returns the evicted (canonical) key, if any."""
         shard, canonical = self._route(key)
-        return shard.put(canonical, value)
+        if not self._observed:
+            return shard.put(canonical, value)
+        start = perf_counter()
+        evicted = shard.put(canonical, value)
+        self._record(shard, "put", perf_counter() - start)
+        return evicted
 
     def delete(self, key: StoreKey) -> bool:
         shard, canonical = self._route(key)
-        return shard.delete(canonical)
+        if not self._observed:
+            return shard.delete(canonical)
+        start = perf_counter()
+        deleted = shard.delete(canonical)
+        self._record(shard, "delete", perf_counter() - start)
+        return deleted
 
     def contains(self, key: StoreKey) -> bool:
         canonical = canonical_key(key)
@@ -188,7 +237,7 @@ class ShardedStore:
         evictions = sum(s.stats.evictions for s in self.shards)
         occupancy = len(self)
         ideal_share = accesses / self.n_shards if accesses else 0.0
-        return StoreTelemetry(
+        telemetry = StoreTelemetry(
             scheme=self.scheme,
             n_shards=self.n_shards,
             accesses=accesses,
@@ -204,6 +253,24 @@ class ShardedStore:
             tail_load=float(counts.max() / ideal_share) if ideal_share else 0.0,
             shard_accesses=counts.tolist(),
         )
+        if self._observed:
+            self._publish_telemetry(telemetry)
+        return telemetry
+
+    def _publish_telemetry(self, telemetry: StoreTelemetry) -> None:
+        """Mirror one snapshot onto the registry as labeled gauges —
+        the continuous-observation form of the inline Eq. 1 / Eq. 2
+        numbers (each snapshot updates the series in place)."""
+        labels = {"scheme": self.scheme}
+        for name, value in (
+            ("store.balance", telemetry.balance),
+            ("store.concentration", telemetry.concentration),
+            ("store.tail_load", telemetry.tail_load),
+            ("store.hit_rate", telemetry.hit_rate),
+            ("store.occupancy", telemetry.occupancy),
+            ("store.evictions", telemetry.evictions),
+        ):
+            self._registry.gauge(name, **labels).set(value)
 
     def __repr__(self) -> str:
         return (f"ShardedStore(scheme={self.scheme!r}, "

@@ -1,0 +1,14 @@
+"""Keep the process-wide observability state out of other tests."""
+
+import pytest
+
+from repro.obs import disable_observability, get_registry, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_observability():
+    """Every obs test leaves the global registry/tracer off and empty."""
+    yield
+    disable_observability()
+    get_registry().clear()
+    get_tracer().clear()

@@ -1,0 +1,126 @@
+"""Span tracer: nesting, timing, threads, flat export, rendering."""
+
+import threading
+import time
+
+from repro.obs import SpanTracer, get_tracer, trace_span
+
+
+class TestNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner_a", "inner_b"]
+
+    def test_nested_durations_are_ordered(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        root = tracer.roots[0]
+        inner = root.children[0]
+        assert inner.duration_s >= 0.01
+        assert root.duration_s >= inner.duration_s
+        assert inner.start_s >= root.start_s
+
+    def test_sequential_roots(self):
+        tracer = SpanTracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_exception_still_closes_span(self):
+        tracer = SpanTracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.roots[0].duration_s is not None
+        # the stack unwound: the next span is a fresh root
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["boom", "after"]
+
+
+class TestThreads:
+    def test_each_thread_gets_its_own_stack(self):
+        tracer = SpanTracer()
+
+        def worker(tag):
+            with tracer.span("chunk", tag=tag):
+                time.sleep(0.002)
+
+        with tracer.span("replay"):
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # worker spans are *roots* of their own threads, not children
+        # of the main thread's replay span
+        names = sorted(r.name for r in tracer.roots)
+        assert names == ["chunk"] * 4 + ["replay"]
+        replay = [r for r in tracer.roots if r.name == "replay"][0]
+        assert replay.children == []
+
+
+class TestExports:
+    def test_flat_depth_and_parent_indices(self):
+        tracer = SpanTracer()
+        with tracer.span("a", k="v"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        rows = tracer.flat()
+        assert [(r["name"], r["depth"], r["parent"]) for r in rows] == [
+            ("a", 0, None), ("b", 1, 0), ("c", 2, 1)
+        ]
+        assert rows[0]["labels"] == {"k": "v"}
+        assert all(r["duration_s"] >= 0 for r in rows)
+
+    def test_render_tree_shows_names_and_labels(self):
+        tracer = SpanTracer()
+        with tracer.span("experiment", experiment="demo"):
+            with tracer.span("simulate", workload="tree"):
+                pass
+        rendered = tracer.render()
+        assert "experiment experiment=demo" in rendered
+        assert "simulate workload=tree" in rendered
+        assert "ms" in rendered
+
+    def test_render_empty(self):
+        assert SpanTracer().render() == "(no spans recorded)"
+
+    def test_clear_resets(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.flat() == []
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = SpanTracer(enabled=False)
+        with tracer.span("invisible"):
+            pass
+        assert tracer.roots == []
+
+    def test_global_trace_span_is_noop_by_default(self):
+        assert get_tracer().enabled is False
+        before = len(get_tracer().roots)
+        with trace_span("invisible"):
+            pass
+        assert len(get_tracer().roots) == before
