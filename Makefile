@@ -5,7 +5,7 @@ JOBS ?= 4
 SCALE ?= 1.0
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test verify bench store-bench obs-check eval figures report examples clean
+.PHONY: install test verify bench store-bench obs-check serve-check serve-bench eval figures report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -30,6 +30,18 @@ store-bench:
 obs-check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/obs -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_obs_overhead.py -q -s
+
+# Serving gate: the serve test suite plus the two-phase smoke load
+# (all-ok at low rate, explicit rejects with full accounting under
+# overload); exits nonzero on any contract violation.
+serve-check:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/serve -q
+	PYTHONPATH=src $(PYTHON) -m repro.serve.smoke
+
+# Serving benchmark: closed-loop throughput + per-scheme open-loop
+# tail latency; writes BENCH_serve.json at the root.
+serve-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_serve.py -q -s
 
 # Regenerate every registered table/figure through the uniform
 # registry CLI, persisting results under $(CACHE_DIR) so re-runs are

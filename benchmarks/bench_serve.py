@@ -1,0 +1,96 @@
+"""Serving benchmark: frontend throughput and tail latency per scheme.
+
+Drives the :class:`repro.serve.Frontend` two ways and records both in
+``BENCH_serve.json`` at the repo root:
+
+* **closed loop** — N concurrent clients over a pmod store, the
+  sustainable service rate of the asyncio pipeline (submit → admission
+  → per-shard batch → response) with batching effectiveness;
+* **open loop** — the ``serving`` experiment's discipline, bursty
+  zipfian arrivals over every scheme, recording p50/p95/p99 latency,
+  reject rate and mean batch size per scheme.
+
+Runs under plain pytest (``make serve-bench``) with loose sanity
+assertions — it is a measurement, not a regression gate; thresholds
+here would be machine-dependent.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.serve import (
+    AdmissionConfig,
+    BatchConfig,
+    FaultPolicy,
+    Frontend,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.store import ShardedStore, make_traffic
+
+SCHEMES = ("traditional", "xor", "pmod", "pdisp")
+N_SHARDS = 32
+SHARD_CAPACITY = 512
+CLOSED_REQUESTS = 4000
+OPEN_REQUESTS = 2000
+OPEN_RATE_RPS = 15000.0
+
+ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = ROOT / "BENCH_serve.json"
+
+
+def _factory(scheme, admission=None):
+    def build():
+        store = ShardedStore(n_shards=N_SHARDS, scheme=scheme,
+                             shard_capacity=SHARD_CAPACITY)
+        return Frontend(
+            store,
+            batch=BatchConfig(max_batch_size=32, max_wait_s=0.001),
+            admission=admission or AdmissionConfig(max_queue_depth=4096),
+            policy=FaultPolicy(timeout_s=1.0, max_retries=1),
+        )
+
+    return build
+
+
+def test_serve_benchmark():
+    requests = make_traffic("zipfian", CLOSED_REQUESTS, seed=0)
+    closed = run_closed_loop(_factory("pmod"), requests, concurrency=32)
+    assert closed.ok == CLOSED_REQUESTS, closed.statuses
+
+    open_requests = make_traffic("zipfian", OPEN_REQUESTS, seed=0)
+    admission = AdmissionConfig(rate=10000.0, burst=128,
+                                max_queue_depth=512)
+    per_scheme = {}
+    for scheme in SCHEMES:
+        report = run_open_loop(_factory(scheme, admission), open_requests,
+                               rate_rps=OPEN_RATE_RPS, arrival="bursty",
+                               seed=0)
+        assert sum(report.statuses.values()) == OPEN_REQUESTS
+        assert report.statuses.get("dropped", 0) == 0
+        per_scheme[scheme] = report.as_dict()
+
+    print()
+    print(f"closed loop (pmod, 32 clients): "
+          f"{closed.throughput_rps:,.0f} rsp/s, "
+          f"p99 {closed.latency['p99'] * 1e3:.2f} ms, "
+          f"mean batch {closed.mean_batch_size:.2f}")
+    for scheme, payload in per_scheme.items():
+        latency = payload["latency"]
+        print(f"open loop {scheme:<12} p50 {latency['p50'] * 1e3:6.2f} ms  "
+              f"p99 {latency['p99'] * 1e3:6.2f} ms  "
+              f"reject {payload['reject_rate'] * 100:5.1f}%  "
+              f"batch {payload['mean_batch_size']:.2f}")
+
+    BENCH_PATH.write_text(json.dumps({
+        "bench": "serve",
+        "generated_s": time.time(),
+        "n_shards": N_SHARDS,
+        "shard_capacity": SHARD_CAPACITY,
+        "closed_loop": {"scheme": "pmod", "concurrency": 32,
+                        **closed.as_dict()},
+        "open_loop": {"rate_rps": OPEN_RATE_RPS, "arrival": "bursty",
+                      "schemes": per_scheme},
+    }, indent=1) + "\n")
+    print(f"wrote {BENCH_PATH}")

@@ -56,6 +56,7 @@ EXPERIMENT_MODULES = (
     "shared_cache",
     "seeds",
     "store_sharding",
+    "serving",
 )
 
 

@@ -1,0 +1,250 @@
+"""Serving: tail latency per hashing scheme under skewed open-loop load.
+
+Extension experiment closing the loop from the paper's *balance*
+argument (Eq. 1) to the metric a serving system actually ships: tail
+latency.  For every shard-selection scheme (traditional power-of-two
+modulo, XOR, pMod, pDisp) the same bursty-zipfian request stream is
+driven open-loop through the :class:`~repro.serve.Frontend` — per-shard
+batching, token-bucket admission, bounded retries — over a
+:class:`~repro.store.ShardedStore`, and the artifact records
+p50/p95/p99 latency, reject/timeout rates, mean batch size and the
+store's observed balance per scheme.
+
+Expected shape: schemes that keep balance near 1.0 (pMod, pDisp) keep
+shard queues even, so their p99 stays close to their p50; a collapsed
+selector concentrates arrivals on a few shard queues and pays at the
+tail first — the birthday-paradox effect of skewed popularity meeting
+bad routing, visible only because arrivals are open-loop and bursty.
+
+``--param stall_shard=N`` additionally stalls one shard through a
+:class:`~repro.serve.FaultInjector`, demonstrating graceful degradation
+(explicit timeouts/rejects, bounded queue) inside the artifact's
+``checks`` block.
+
+With ``--cache-dir`` set, each scheme's load report is
+content-addressed through the engine's result cache and reused across
+runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Mapping, Optional
+
+from repro.engine import (
+    ExperimentContext,
+    ExperimentSpec,
+    SimulationKey,
+    register,
+    render_artifact,
+    run_experiment,
+)
+from repro.reporting import serve_latency_table, serve_tail_chart
+from repro.serve import (
+    AdmissionConfig,
+    BatchConfig,
+    FaultInjector,
+    FaultPolicy,
+    Frontend,
+    run_open_loop,
+)
+from repro.store import ShardedStore, make_traffic
+
+#: Schemes compared, in the paper's figure order.
+DEFAULT_SCHEMES = ("traditional", "xor", "pmod", "pdisp")
+
+
+def _serve_fingerprint(params: Mapping) -> str:
+    """Stable digest of every serving knob, for content addressing."""
+    payload = json.dumps(dict(params), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def measure(scheme: str, n_requests: int, pattern: str = "zipfian",
+            rate_rps: float = 12000.0, arrival: str = "bursty",
+            admit_rate: Optional[float] = 8000.0, burst: int = 128,
+            max_queue_depth: int = 512, max_batch_size: int = 32,
+            max_wait_s: float = 0.001, timeout_s: float = 0.05,
+            max_retries: int = 1, n_shards: int = 32,
+            shard_capacity: int = 256, seed: int = 0,
+            stall_shard: Optional[int] = None,
+            stall_s: float = 0.25) -> Dict:
+    """Drive one scheme's frontend open-loop; returns the cell payload.
+
+    The payload is the :class:`~repro.serve.LoadReport` dict plus the
+    backing store's balance/concentration telemetry and the fault
+    counters when a shard stall was injected.
+    """
+    telemetry = {}
+
+    def build() -> Frontend:
+        store = ShardedStore(n_shards=n_shards, scheme=scheme,
+                             shard_capacity=shard_capacity)
+        telemetry["store"] = store
+        injector = None
+        if stall_shard is not None:
+            injector = FaultInjector(stall_s=stall_s, seed=seed)
+            injector.stall(stall_shard % store.n_shards)
+        return Frontend(
+            store,
+            batch=BatchConfig(max_batch_size=max_batch_size,
+                              max_wait_s=max_wait_s),
+            admission=AdmissionConfig(rate=admit_rate, burst=burst,
+                                      max_queue_depth=max_queue_depth),
+            policy=FaultPolicy(timeout_s=timeout_s,
+                               max_retries=max_retries),
+            injector=injector,
+        )
+
+    requests = make_traffic(pattern, n_requests, seed=seed)
+    report = run_open_loop(build, requests, rate_rps=rate_rps,
+                           arrival=arrival, seed=seed)
+    store = telemetry["store"]
+    store_telemetry = store.telemetry()
+    payload = report.as_dict()
+    payload["scheme"] = scheme
+    payload["balance"] = store_telemetry.balance
+    payload["concentration"] = store_telemetry.concentration
+    payload["stalled_shard"] = (stall_shard % store.n_shards
+                                if stall_shard is not None else None)
+    return payload
+
+
+def degradation_checks(cells: Mapping[str, Mapping],
+                       max_queue_depth: int,
+                       stalled: bool) -> Dict[str, bool]:
+    """The serving contract, asserted on every scheme's payload:
+    every request accounted for, never a silent drop, the in-flight
+    count bounded by the admission cap — and, under an injected stall,
+    explicit timeouts instead of a hang."""
+    checks: Dict[str, bool] = {}
+    for scheme, cell in cells.items():
+        statuses = cell["statuses"]
+        accounted = sum(statuses.values()) == cell["n_requests"]
+        checks[f"{scheme}_all_accounted"] = bool(accounted)
+        checks[f"{scheme}_no_silent_drops"] = statuses.get("dropped", 0) == 0
+        checks[f"{scheme}_queue_bounded"] = bool(
+            cell["peak_queue_depth"] <= max_queue_depth)
+        if stalled:
+            checks[f"{scheme}_stall_surfaces_explicitly"] = bool(
+                statuses.get("timeout", 0) + statuses.get("rejected", 0) > 0)
+    return checks
+
+
+def render(data: Mapping) -> str:
+    """Latency table + p99 chart + the contract-check verdict."""
+    rows = list(data["schemes"].values())
+    stall = data.get("stall_shard")
+    suffix = f", shard {stall} stalled" if stall is not None else ""
+    sections = [
+        serve_latency_table(
+            rows,
+            title=(f"Serving — {data['pattern']} keys, {data['arrival']} "
+                   f"arrivals at {data['rate_rps']:,.0f} req/s offered "
+                   f"({data['n_requests']} requests, {data['n_shards']} "
+                   f"shards{suffix})")),
+        serve_tail_chart(rows, title="p99 latency (ms) per scheme"),
+    ]
+    checks = data.get("checks", {})
+    if checks:
+        verdict = "ok" if all(checks.values()) else "VIOLATED"
+        sections.append(
+            f"Serving contract (accounting, bounded queue, explicit "
+            f"shedding): {verdict} ({sum(checks.values())}/{len(checks)} "
+            f"checks hold)")
+    return "\n\n".join(sections)
+
+
+def _build(ctx: ExperimentContext) -> Dict:
+    n_requests = max(1, int(int(ctx.param("requests", 2500))
+                            * ctx.config.scale))
+    stall_param = ctx.param("stall_shard", None)
+    params = {
+        "n_requests": n_requests,
+        "pattern": str(ctx.param("pattern", "zipfian")),
+        "rate_rps": float(ctx.param("rate_rps", 12000.0)),
+        "arrival": str(ctx.param("arrival", "bursty")),
+        "admit_rate": (float(ctx.param("admit_rate", 8000.0))
+                       if ctx.param("admit_rate", 8000.0) is not None
+                       else None),
+        "burst": int(ctx.param("burst", 128)),
+        "max_queue_depth": int(ctx.param("max_queue_depth", 512)),
+        "max_batch_size": int(ctx.param("max_batch_size", 32)),
+        "max_wait_s": float(ctx.param("max_wait_s", 0.001)),
+        "timeout_s": float(ctx.param("timeout_s", 0.05)),
+        "max_retries": int(ctx.param("max_retries", 1)),
+        "n_shards": int(ctx.param("n_shards", 32)),
+        "shard_capacity": int(ctx.param("shard_capacity", 256)),
+        "seed": ctx.config.seed,
+        "stall_shard": (int(stall_param)
+                        if stall_param is not None else None),
+        "stall_s": float(ctx.param("stall_s", 0.25)),
+    }
+    schemes = list(ctx.param("schemes", DEFAULT_SCHEMES))
+    cache = ctx.engine.cache
+    fingerprint = _serve_fingerprint(params)
+
+    def cell_key(scheme: str) -> SimulationKey:
+        return SimulationKey(
+            workload=f"serve-{params['pattern']}",
+            scheme=scheme,
+            scale=ctx.config.scale,
+            seed=ctx.config.seed,
+            skew_replacement=ctx.config.skew_replacement,
+            machine=fingerprint,
+        )
+
+    cells: Dict[str, Dict] = {}
+    for scheme in schemes:
+        payload: Optional[Dict] = None
+        if cache is not None:
+            payload = cache.get_payload(cell_key(scheme))
+        if payload is None:
+            kwargs = dict(params)
+            kwargs.pop("pattern")
+            payload = measure(scheme, kwargs.pop("n_requests"),
+                              pattern=params["pattern"], **kwargs)
+            if cache is not None:
+                cache.put_payload(cell_key(scheme), payload)
+        cells[scheme] = payload
+    return {
+        "n_requests": n_requests,
+        "pattern": params["pattern"],
+        "arrival": params["arrival"],
+        "rate_rps": params["rate_rps"],
+        "admit_rate": params["admit_rate"],
+        "max_queue_depth": params["max_queue_depth"],
+        "n_shards": params["n_shards"],
+        "stall_shard": params["stall_shard"],
+        "schemes": cells,
+        "checks": degradation_checks(cells, params["max_queue_depth"],
+                                     stalled=params["stall_shard"]
+                                     is not None),
+    }
+
+
+def _render_artifact(artifact: Mapping) -> str:
+    return render(artifact["data"])
+
+
+register(ExperimentSpec(
+    name="serving",
+    title="Serving: tail latency per hashing scheme under skewed load "
+          "(extension)",
+    build=_build,
+    render=_render_artifact,
+    uses_simulation=False,
+))
+
+
+def main() -> None:
+    from repro.experiments.common import context_from_args, standard_argparser
+
+    args = standard_argparser(__doc__).parse_args()
+    artifact = run_experiment("serving", context_from_args(args))
+    print(render_artifact(artifact))
+
+
+if __name__ == "__main__":
+    main()

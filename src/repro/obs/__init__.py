@@ -37,6 +37,8 @@ from repro.obs.spans import Span, SpanTracer, get_tracer, set_tracer, trace_span
 
 __all__ = [
     "CORE_COUNTERS",
+    "SERVE_METRICS",
+    "STORE_METRICS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -74,12 +76,46 @@ CORE_COUNTERS = (
     "engine.trace.builds",
 )
 
+#: Store-layer series, pre-declared (unlabeled, zero-valued) alongside
+#: :data:`CORE_COUNTERS` so a snapshot taken before any traffic still
+#: carries every name the store can emit.  Values map name -> kind.
+STORE_METRICS = {
+    "store.requests": "counter",
+    "store.op.latency_s": "histogram",
+    "store.shard.latency_s": "histogram",
+    "store.replay.chunk_s": "histogram",
+    "store.balance": "gauge",
+    "store.concentration": "gauge",
+    "store.tail_load": "gauge",
+    "store.hit_rate": "gauge",
+}
+
+#: Serving-layer (`repro.serve`) series, same contract as
+#: :data:`STORE_METRICS`.
+SERVE_METRICS = {
+    "serve.requests": "counter",
+    "serve.rejected": "counter",
+    "serve.retries": "counter",
+    "serve.timeouts": "counter",
+    "serve.errors": "counter",
+    "serve.dropped": "counter",
+    "serve.batches": "counter",
+    "serve.latency_s": "histogram",
+    "serve.batch_size": "histogram",
+    "serve.queue_depth": "gauge",
+}
+
 
 def declare_core_metrics(registry: MetricsRegistry = None) -> None:
-    """Materialize :data:`CORE_COUNTERS` (at 0) on ``registry``."""
+    """Materialize the stable snapshot schema on ``registry``:
+    :data:`CORE_COUNTERS` plus the :data:`STORE_METRICS` /
+    :data:`SERVE_METRICS` series, all at zero."""
     registry = registry or get_registry()
     for name in CORE_COUNTERS:
         registry.counter(name)
+    for metrics in (STORE_METRICS, SERVE_METRICS):
+        for name, kind in metrics.items():
+            getattr(registry, kind)(name)
 
 
 def enable_observability(clear: bool = True):

@@ -152,6 +152,26 @@ class SpanTracer:
             return _NULL_SPAN
         return _SpanContext(self, name, labels)
 
+    def record(self, name: str, duration_s: float, **labels: Any) -> None:
+        """Append one already-measured span as a completed root.
+
+        The context-manager form nests via per-thread stacks, which is
+        wrong for asyncio code: concurrent tasks interleave on one
+        thread, so a span held across an ``await`` would adopt other
+        tasks' spans as children.  Async callers (the serving frontend)
+        therefore measure durations themselves and record the finished
+        span here; its start time is back-dated so the trace timeline
+        stays truthful.  No-op while the tracer is disabled.
+        """
+        if not self.enabled:
+            return
+        span = Span(name, labels,
+                    time.perf_counter() - self.epoch - duration_s,
+                    threading.current_thread().name)
+        span.duration_s = duration_s
+        with self._roots_lock:
+            self.roots.append(span)
+
     # -- export --------------------------------------------------------
 
     def flat(self) -> List[Dict[str, Any]]:

@@ -1,8 +1,10 @@
 """Terminal rendering helpers for experiment results."""
 
 from repro.reporting.chart import bar_chart, sparkline_series, stacked_bar_chart
+from repro.reporting.serve import serve_latency_table, serve_tail_chart
 from repro.reporting.store import shard_balance_chart, shard_balance_table
 from repro.reporting.table import format_table
 
-__all__ = ["bar_chart", "format_table", "shard_balance_chart",
-           "shard_balance_table", "sparkline_series", "stacked_bar_chart"]
+__all__ = ["bar_chart", "format_table", "serve_latency_table",
+           "serve_tail_chart", "shard_balance_chart", "shard_balance_table",
+           "sparkline_series", "stacked_bar_chart"]

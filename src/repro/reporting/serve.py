@@ -1,0 +1,67 @@
+"""Rendering for `repro.serve` load-generation results.
+
+One latency table plus one tail-latency chart per run; consumed by the
+``serving`` experiment and ``benchmarks/bench_serve.py``.  Rows are
+plain dicts (the :meth:`~repro.serve.loadgen.LoadReport.as_dict`
+payloads, one per scheme), so artifacts loaded back from JSON render
+identically to fresh runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.reporting.chart import bar_chart
+from repro.reporting.table import format_table
+
+
+def _fmt(value, spec: str = "{:.3f}") -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return spec.format(value)
+
+
+def serve_latency_table(rows: Sequence[Mapping], title: str = None) -> str:
+    """Per-scheme serving outcome table for one load run.
+
+    Each row needs ``scheme`` plus the :class:`~repro.serve.loadgen.
+    LoadReport` payload fields (``latency`` percentiles,
+    ``reject_rate``/``timeout_rate``, ``mean_batch_size``,
+    ``throughput_rps``) and optionally ``balance`` from the backing
+    store's telemetry, tying tail latency back to the paper's Eq. 1.
+    """
+    with_balance = any(row.get("balance") is not None for row in rows)
+    body = []
+    for row in rows:
+        latency = row.get("latency", {})
+        cells = [
+            row["scheme"],
+            _fmt(latency.get("p50", 0.0) * 1e3, "{:.2f}"),
+            _fmt(latency.get("p95", 0.0) * 1e3, "{:.2f}"),
+            _fmt(latency.get("p99", 0.0) * 1e3, "{:.2f}"),
+            _fmt(row.get("reject_rate", 0.0) * 100, "{:.1f}%"),
+            _fmt(row.get("timeout_rate", 0.0) * 100, "{:.1f}%"),
+            _fmt(row.get("mean_batch_size"), "{:.2f}"),
+            _fmt(row.get("throughput_rps"), "{:,.0f}")
+            if row.get("throughput_rps") is not None else "-",
+        ]
+        if with_balance:
+            cells.append(_fmt(row.get("balance"))
+                         if row.get("balance") is not None else "-")
+        body.append(cells)
+    headers = ["scheme", "p50 ms", "p95 ms", "p99 ms", "reject",
+               "timeout", "batch", "rsp/s"]
+    if with_balance:
+        headers.append("balance")
+    return format_table(headers, body, title=title)
+
+
+def serve_tail_chart(rows: Sequence[Mapping], title: str = None) -> str:
+    """Bar chart of p99 latency (ms) per scheme — the tail the paper's
+    balance argument predicts: collapsed shard routing concentrates
+    queueing, and the p99 pays for it first."""
+    labels = [str(row["scheme"]) for row in rows]
+    values = [float(row.get("latency", {}).get("p99", 0.0)) * 1e3
+              for row in rows]
+    return bar_chart(labels, values, title=title)

@@ -1,0 +1,191 @@
+"""Per-queue request coalescing with size and deadline bounds.
+
+The :class:`Batcher` is the middle of the serving pipeline: admitted
+requests land on one asyncio queue per backend shard (plus one for
+simulation work), and one worker task per queue drains it in *batches*
+— up to ``max_batch_size`` items, waiting at most ``max_wait_s`` for
+stragglers once the first item arrives.  Batching is what turns
+hash-routed shards into a fabric: requests for the same shard share
+one dispatch (amortizing per-dispatch overhead exactly the way a
+sliced LLC amortizes a slice access), while shards never block each
+other — a stalled queue delays only its own batches.
+
+The batcher is policy-free: it knows nothing about stores, faults or
+retries.  It calls one async ``execute(queue_id, items)`` callback per
+batch; the frontend owns what execution means, how failures map to
+futures, and all metrics.  Items whose futures are already settled
+(e.g. cancelled by the frontend's per-request timeout) are delivered
+anyway — the executor skips them — so accounting stays in one place.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Awaitable, Callable, List, Optional, Tuple
+
+__all__ = ["BatchConfig", "Batcher", "WorkItem"]
+
+#: Sentinel closing one worker's queue.
+_CLOSE = object()
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Coalescing bounds for every queue of one :class:`Batcher`.
+
+    Attributes:
+        max_batch_size: most items one dispatch may carry.
+        max_wait_s: deadline for filling a batch, measured from the
+            moment its first item is picked up; expiry dispatches the
+            partial batch (latency is bounded, batching is best-effort).
+    """
+
+    max_batch_size: int = 16
+    max_wait_s: float = 0.002
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclass
+class WorkItem:
+    """One queued request plus the future its response resolves."""
+
+    request: Any
+    future: asyncio.Future
+    enqueued_s: float = 0.0
+
+    @classmethod
+    def make(cls, request: Any) -> "WorkItem":
+        loop = asyncio.get_running_loop()
+        return cls(request=request, future=loop.create_future(),
+                   enqueued_s=perf_counter())
+
+
+class Batcher:
+    """N bounded-coalescing queues, one drain task each.
+
+    Args:
+        n_queues: independent queues (= shard count for store work).
+        execute: async callback ``execute(queue_id, items)`` invoked
+            once per batch; must settle every live item's future and
+            must not raise (defensively, a raising executor fails the
+            whole batch's unsettled futures instead of killing the
+            worker).
+        config: coalescing bounds.
+    """
+
+    def __init__(self, n_queues: int,
+                 execute: Callable[[int, List[WorkItem]], Awaitable[None]],
+                 config: BatchConfig = None):
+        if n_queues < 1:
+            raise ValueError("n_queues must be >= 1")
+        self.config = config or BatchConfig()
+        self._n_queues = n_queues
+        self._execute = execute
+        self._queues: List[asyncio.Queue] = []
+        self._tasks: List[asyncio.Task] = []
+        self.batches = 0
+        self.batched_items = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._tasks)
+
+    async def start(self) -> "Batcher":
+        if self.started:
+            return self
+        self._queues = [asyncio.Queue() for _ in range(self._n_queues)]
+        self._tasks = [asyncio.create_task(self._worker(qid),
+                                           name=f"batcher-{qid}")
+                       for qid in range(self._n_queues)]
+        return self
+
+    async def stop(self) -> List[WorkItem]:
+        """Stop every worker; returns items left undispatched."""
+        if not self.started:
+            return []
+        for queue in self._queues:
+            queue.put_nowait(_CLOSE)
+        await asyncio.gather(*self._tasks)
+        dropped: List[WorkItem] = []
+        for queue in self._queues:
+            while not queue.empty():
+                item = queue.get_nowait()
+                if item is not _CLOSE:
+                    dropped.append(item)
+        self._queues, self._tasks = [], []
+        return dropped
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, queue_id: int, item: WorkItem) -> None:
+        """Enqueue one item (the frontend has already admitted it)."""
+        if not self.started:
+            raise RuntimeError("batcher is not started")
+        self._queues[queue_id].put_nowait(item)
+
+    def queue_depth(self) -> int:
+        """Items currently sitting in queues (excludes executing)."""
+        return sum(queue.qsize() for queue in self._queues)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_items / self.batches if self.batches else 0.0
+
+    # -- draining ------------------------------------------------------
+
+    async def _collect(self, queue: asyncio.Queue,
+                       first: WorkItem) -> Tuple[List[WorkItem], bool]:
+        """Fill a batch behind ``first`` until size or deadline."""
+        batch = [first]
+        if self.config.max_batch_size == 1:
+            return batch, False
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.max_wait_s
+        while len(batch) < self.config.max_batch_size:
+            if not queue.empty():
+                item = queue.get_nowait()
+            else:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            if item is _CLOSE:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    async def _worker(self, qid: int) -> None:
+        queue = self._queues[qid]
+        while True:
+            item = await queue.get()
+            if item is _CLOSE:
+                return
+            batch, closing = await self._collect(queue, item)
+            self.batches += 1
+            self.batched_items += len(batch)
+            try:
+                await self._execute(qid, batch)
+            except Exception as exc:  # executor contract violation
+                for work in batch:
+                    if not work.future.done():
+                        work.future.set_exception(exc)
+            if closing:
+                return
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else "stopped"
+        return (f"Batcher({state}, queues={self._n_queues}, "
+                f"batches={self.batches}, "
+                f"mean_batch={self.mean_batch_size:.2f})")

@@ -1,0 +1,152 @@
+"""Fault tolerance policy and chaos-testing fault injection.
+
+Two halves, deliberately separate:
+
+* :class:`FaultPolicy` — how the *frontend* behaves when a request goes
+  wrong: a per-request timeout (no request waits forever on a stalled
+  shard), bounded exponential-backoff retries (transient injected
+  errors get re-queued, persistent ones surface), and a deterministic
+  backoff schedule so tests can assert exact values.
+* :class:`FaultInjector` — how tests and chaos runs make things go
+  wrong on purpose: seeded-random **delays** (slow batches), **errors**
+  (failed batches, raising :class:`InjectedFault`), and targeted
+  **shard stalls** (one shard's batches sleep ``stall_s`` every time —
+  the "one slow replica" scenario from sliced-LLC land, where a single
+  hot or broken slice must not take the whole fabric down).
+
+The batcher awaits :meth:`FaultInjector.before_batch` ahead of every
+batch it executes; with no injector configured the serving path never
+touches this module.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+__all__ = ["FaultInjector", "FaultPolicy", "InjectedFault"]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :class:`FaultInjector` in place of a real backend error."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Per-request timeout and bounded-retry schedule.
+
+    Attributes:
+        timeout_s: how long one attempt may wait for its batch result
+            before the frontend abandons it (the item is skipped by the
+            batcher once its future is cancelled).
+        max_retries: attempts after the first (0 = fail fast).
+        backoff_base_s: backoff before the first retry.
+        backoff_multiplier: exponential growth factor per retry.
+        backoff_cap_s: ceiling on any single backoff sleep.
+    """
+
+    timeout_s: float = 1.0
+    max_retries: int = 2
+    backoff_base_s: float = 0.005
+    backoff_multiplier: float = 2.0
+    backoff_cap_s: float = 0.1
+
+    def __post_init__(self):
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic capped exponential backoff before retry
+        ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0.0
+        return min(self.backoff_cap_s,
+                   self.backoff_base_s
+                   * self.backoff_multiplier ** (attempt - 1))
+
+
+@dataclass
+class FaultInjector:
+    """Seeded, targetable fault source for the serving path.
+
+    Probabilistic faults draw from one ``numpy`` generator seeded at
+    construction, so a chaos run replays exactly under the same seed.
+    Shard stalls are deterministic: every batch on a stalled shard
+    sleeps ``stall_s`` before executing, which is how a test creates
+    the "one stalled shard" scenario the frontend must degrade
+    gracefully under (timeouts + rejects, never a hang).
+
+    Attributes:
+        delay_probability: chance a batch is delayed ``delay_s``.
+        delay_s: injected batch delay.
+        error_probability: chance a batch raises :class:`InjectedFault`.
+        stall_s: sleep applied to every batch of a stalled shard.
+        seed: RNG seed for the probabilistic faults.
+    """
+
+    delay_probability: float = 0.0
+    delay_s: float = 0.005
+    error_probability: float = 0.0
+    stall_s: float = 0.25
+    seed: int = 0
+    stalled_shards: Set[int] = field(default_factory=set)
+
+    def __post_init__(self):
+        for name in ("delay_probability", "error_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.delay_s < 0 or self.stall_s < 0:
+            raise ValueError("delay_s and stall_s must be >= 0")
+        self._rng = np.random.default_rng(self.seed)
+        self.injected: Dict[str, int] = {"delay": 0, "error": 0, "stall": 0}
+
+    # -- targeting -----------------------------------------------------
+
+    def stall(self, shard_id: int) -> "FaultInjector":
+        """Mark ``shard_id`` stalled (every batch sleeps ``stall_s``)."""
+        self.stalled_shards.add(shard_id)
+        return self
+
+    def recover(self, shard_id: Optional[int] = None) -> "FaultInjector":
+        """Clear one stalled shard (or all, when ``shard_id`` is None)."""
+        if shard_id is None:
+            self.stalled_shards.clear()
+        else:
+            self.stalled_shards.discard(shard_id)
+        return self
+
+    # -- the hook the batcher awaits -----------------------------------
+
+    async def before_batch(self, queue_id: int) -> None:
+        """Apply any configured fault ahead of one batch execution.
+
+        Stalls apply first (deterministic, targeted), then the seeded
+        probabilistic delay and error draws.  Raising here fails the
+        whole batch; the frontend's retry policy decides what happens
+        to each request in it.
+        """
+        if queue_id in self.stalled_shards:
+            self.injected["stall"] += 1
+            await asyncio.sleep(self.stall_s)
+        if (self.delay_probability > 0.0
+                and self._rng.random() < self.delay_probability):
+            self.injected["delay"] += 1
+            await asyncio.sleep(self.delay_s)
+        if (self.error_probability > 0.0
+                and self._rng.random() < self.error_probability):
+            self.injected["error"] += 1
+            raise InjectedFault(f"injected error on queue {queue_id}")
+
+    def stats(self) -> Dict[str, int]:
+        """Injected-fault counts (JSON-friendly)."""
+        return dict(self.injected)

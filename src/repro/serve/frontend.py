@@ -1,0 +1,437 @@
+"""The asyncio serving frontend over a :class:`ShardedStore`.
+
+Request lifecycle::
+
+    submit ── admission ──► per-shard batch queue ──► batched execute
+                │ reject                 │ timeout/error      │
+                ▼                        ▼                    ▼
+         Response("rejected")     bounded retries       Response("ok")
+                                (capped backoff) ──► Response("timeout"/"error")
+
+Every request gets an explicit :class:`Response` — admitted or not,
+served or timed out — which is the serving contract the load generator
+and the chaos tests assert: *no request is ever silently dropped and no
+queue is ever unbounded*.  The pieces:
+
+* :class:`~repro.serve.admission.AdmissionController` decides, before
+  anything is queued, against the token bucket and the frontend's
+  in-flight count;
+* :class:`~repro.serve.batcher.Batcher` coalesces admitted requests
+  per destination shard (keys route through the store's prime-indexed
+  :class:`~repro.store.selector.ShardSelector`, so shard balance — the
+  paper's Eq. 1 — directly shapes queue depths and tail latency);
+* :class:`~repro.serve.faults.FaultPolicy` bounds how long any attempt
+  may wait and how often it may retry; an optional
+  :class:`~repro.serve.faults.FaultInjector` makes batches slow, fail,
+  or stall per shard for chaos testing.
+
+``simulate`` requests (cache-simulation-as-a-service) bypass the shard
+queues and flow through a dedicated single-queue batcher that dedupes
+identical ``(workload, scheme)`` cells per batch and runs them on the
+default executor; wire :func:`engine_simulate_fn` to serve them from a
+:class:`~repro.engine.SimulationEngine`'s content-addressed result
+cache.
+
+Instrumentation (all through :mod:`repro.obs`, free when disabled):
+``serve.requests``/``serve.rejected``/``serve.retries``/
+``serve.timeouts``/``serve.errors``/``serve.dropped`` counters,
+``serve.latency_s`` and ``serve.batch_size`` histograms,
+``serve.queue_depth`` gauge, synchronous ``serve.batch`` spans, and
+1-in-``span_every`` sampled ``serve.request`` spans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import asdict, dataclass
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs import MetricsRegistry, get_registry, get_tracer, trace_span
+from repro.serve.admission import (
+    REASON_QUEUE,
+    REASON_RATE,
+    AdmissionConfig,
+    AdmissionController,
+)
+from repro.serve.batcher import BatchConfig, Batcher, WorkItem
+from repro.serve.faults import FaultInjector, FaultPolicy, InjectedFault
+from repro.store.engine import ShardedStore
+from repro.store.traffic import Request
+
+__all__ = [
+    "Frontend",
+    "FrontendStopped",
+    "Response",
+    "SimulateRequest",
+    "engine_simulate_fn",
+]
+
+#: Response statuses a submit can resolve to.
+STATUSES = ("ok", "rejected", "timeout", "error", "dropped")
+
+#: Queue id of the simulation batcher's single queue (distinct from any
+#: shard id so targeted shard stalls never hit simulation batches).
+SIM_QUEUE = -1
+
+
+class FrontendStopped(RuntimeError):
+    """Set on futures still queued when the frontend shuts down."""
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """One cache-simulation-as-a-service request."""
+
+    workload: str
+    scheme: str
+
+    op: str = "simulate"
+
+    @property
+    def key(self) -> str:
+        return f"{self.workload}:{self.scheme}"
+
+
+@dataclass(frozen=True)
+class Response:
+    """The explicit outcome of one submitted request."""
+
+    op: str
+    key: Any
+    status: str  #: one of :data:`STATUSES`
+    value: Any = None
+    reason: Optional[str] = None
+    retries: int = 0
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "key": self.key, "status": self.status,
+                "value": self.value, "reason": self.reason,
+                "retries": self.retries, "latency_s": self.latency_s}
+
+
+def engine_simulate_fn(engine) -> Callable[[str, str], Dict[str, Any]]:
+    """Serve ``simulate`` requests from a
+    :class:`~repro.engine.SimulationEngine`: repeats of a cell are
+    content-addressed cache hits, so only the first request per
+    (workload, scheme) pays for a simulation."""
+
+    def simulate(workload: str, scheme: str) -> Dict[str, Any]:
+        return asdict(engine.result(workload, scheme))
+
+    return simulate
+
+
+class Frontend:
+    """Async get/put/delete/simulate serving over one sharded store.
+
+    Args:
+        store: the backend :class:`ShardedStore`.
+        batch: coalescing bounds for the per-shard batchers.
+        admission: token-bucket / queue-depth admission knobs.
+        policy: per-request timeout + bounded-retry schedule.
+        injector: optional chaos-testing fault source.
+        simulate_fn: ``(workload, scheme) -> payload`` backing
+            ``simulate`` requests (see :func:`engine_simulate_fn`);
+            without one, simulate requests get an explicit error.
+        registry: metrics registry override (defaults to the global).
+        span_every: sample one ``serve.request`` span per this many
+            finished requests when tracing is enabled (0 disables;
+            sampling bounds trace size under load).
+    """
+
+    def __init__(self, store: ShardedStore, *,
+                 batch: BatchConfig = None,
+                 admission: AdmissionConfig = None,
+                 policy: FaultPolicy = None,
+                 injector: FaultInjector = None,
+                 simulate_fn: Callable[[str, str], Any] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 span_every: int = 64):
+        self.store = store
+        self.policy = policy or FaultPolicy()
+        self.injector = injector
+        self.admission = AdmissionController(admission or AdmissionConfig())
+        self._simulate_fn = simulate_fn
+        self._store_batcher = Batcher(store.n_shards, self._run_store_batch,
+                                      batch or BatchConfig())
+        self._sim_batcher = Batcher(1, self._run_sim_batch,
+                                    batch or BatchConfig())
+        self._pending = 0
+        self.peak_queue_depth = 0
+        self._span_every = max(0, span_every)
+        self._finished = 0
+        self.counts: Dict[str, int] = {
+            "requests": 0, "ok": 0, "rejected": 0, "timeouts": 0,
+            "errors": 0, "dropped": 0, "retries": 0,
+        }
+        registry = get_registry() if registry is None else registry
+        self._registry = registry
+        self._observed = registry.enabled
+        scheme = store.scheme
+        self._req_counters = {
+            op: registry.counter("serve.requests", scheme=scheme, op=op)
+            for op in ("get", "put", "delete", "simulate")
+        }
+        self._latency = {
+            op: registry.histogram("serve.latency_s", scheme=scheme, op=op)
+            for op in ("get", "put", "delete", "simulate")
+        }
+        self._reject_counters = {
+            reason: registry.counter("serve.rejected", scheme=scheme,
+                                     reason=reason)
+            for reason in (REASON_RATE, REASON_QUEUE)
+        }
+        self._retry_counter = registry.counter("serve.retries", scheme=scheme)
+        self._timeout_counter = registry.counter("serve.timeouts",
+                                                 scheme=scheme)
+        self._error_counter = registry.counter("serve.errors", scheme=scheme)
+        self._dropped_counter = registry.counter("serve.dropped",
+                                                 scheme=scheme)
+        self._batch_counter = registry.counter("serve.batches", scheme=scheme)
+        self._batch_size = registry.histogram("serve.batch_size",
+                                              scheme=scheme)
+        self._queue_gauge = registry.gauge("serve.queue_depth", scheme=scheme)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._store_batcher.started
+
+    async def start(self) -> "Frontend":
+        await self._store_batcher.start()
+        await self._sim_batcher.start()
+        return self
+
+    async def stop(self) -> None:
+        """Stop the batchers; still-queued requests resolve as dropped."""
+        dropped = (await self._store_batcher.stop()
+                   + await self._sim_batcher.stop())
+        for item in dropped:
+            self._pending -= 1
+            if not item.future.done():
+                item.future.set_exception(FrontendStopped("frontend stopped"))
+
+    async def __aenter__(self) -> "Frontend":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> bool:
+        await self.stop()
+        return False
+
+    # -- public request surface ----------------------------------------
+
+    async def get(self, key) -> Response:
+        return await self.submit(Request("get", key))
+
+    async def put(self, key, value) -> Response:
+        return await self.submit(Request("put", key, value=value))
+
+    async def delete(self, key) -> Response:
+        return await self.submit(Request("delete", key))
+
+    async def simulate(self, workload: str, scheme: str) -> Response:
+        return await self.submit(SimulateRequest(workload, scheme))
+
+    @property
+    def queue_depth(self) -> int:
+        """In-flight requests (queued + executing)."""
+        return self._pending
+
+    async def submit(self, request) -> Response:
+        """Serve one request end to end; always returns a Response."""
+        start = perf_counter()
+        op = request.op
+        key = getattr(request, "key", None)
+        self.counts["requests"] += 1
+        counter = self._req_counters.get(op)
+        if counter is not None:
+            counter.inc()
+        reason = self.admission.admit(self._pending)
+        if reason is not None:
+            self.counts["rejected"] += 1
+            self._reject_counters[reason].inc()
+            return self._finish(Response(
+                op=op, key=key, status="rejected", reason=reason,
+                latency_s=perf_counter() - start))
+        if op == "simulate":
+            if self._simulate_fn is None:
+                self.counts["errors"] += 1
+                self._error_counter.inc()
+                return self._finish(Response(
+                    op=op, key=key, status="error",
+                    reason="no simulator configured",
+                    latency_s=perf_counter() - start))
+            batcher, queue_id = self._sim_batcher, 0
+        else:
+            batcher, queue_id = (self._store_batcher,
+                                 self.store.shard_for(key))
+        retries = 0
+        while True:
+            item = WorkItem.make(request)
+            self._pending += 1
+            if self._pending > self.peak_queue_depth:
+                self.peak_queue_depth = self._pending
+            batcher.submit(queue_id, item)
+            failure = detail = None
+            try:
+                value = await asyncio.wait_for(item.future,
+                                               self.policy.timeout_s)
+            except asyncio.TimeoutError:
+                # wait_for cancelled the future; the batcher will skip
+                # the abandoned item when its batch comes up.
+                failure = "timeout"
+            except FrontendStopped as exc:
+                self.counts["dropped"] += 1
+                self._dropped_counter.inc()
+                return self._finish(Response(
+                    op=op, key=key, status="dropped", reason=str(exc),
+                    retries=retries, latency_s=perf_counter() - start))
+            except Exception as exc:
+                failure = "error"
+                detail = f"{type(exc).__name__}: {exc}"
+            else:
+                self.counts["ok"] += 1
+                return self._finish(Response(
+                    op=op, key=key, status="ok", value=value,
+                    retries=retries, latency_s=perf_counter() - start))
+            if retries >= self.policy.max_retries:
+                if failure == "timeout":
+                    self.counts["timeouts"] += 1
+                    self._timeout_counter.inc()
+                    detail = f"timeout after {self.policy.timeout_s}s"
+                else:
+                    self.counts["errors"] += 1
+                    self._error_counter.inc()
+                return self._finish(Response(
+                    op=op, key=key, status=failure, reason=detail,
+                    retries=retries, latency_s=perf_counter() - start))
+            retries += 1
+            self.counts["retries"] += 1
+            self._retry_counter.inc()
+            await asyncio.sleep(self.policy.backoff_s(retries))
+
+    # -- batch executors (Batcher callbacks) ---------------------------
+
+    async def _run_store_batch(self, shard_id: int,
+                               items: List[WorkItem]) -> None:
+        self._pending -= len(items)
+        live = [item for item in items if not item.future.done()]
+        if self._observed:
+            self._batch_counter.inc()
+            self._batch_size.observe(len(live))
+            self._queue_gauge.set(self._pending)
+        if not live:
+            return
+        if self.injector is not None:
+            try:
+                await self.injector.before_batch(shard_id)
+            except InjectedFault as exc:
+                for item in live:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                return
+        with trace_span("serve.batch", shard=shard_id, size=len(live)):
+            store = self.store
+            for item in live:
+                request = item.request
+                try:
+                    if request.op == "get":
+                        value = store.get(request.key)
+                    elif request.op == "put":
+                        value = store.put(request.key, request.value)
+                    elif request.op == "delete":
+                        value = store.delete(request.key)
+                    else:
+                        raise ValueError(
+                            f"unknown request op {request.op!r}")
+                except Exception as exc:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                else:
+                    if not item.future.done():
+                        item.future.set_result(value)
+
+    async def _run_sim_batch(self, _qid: int,
+                             items: List[WorkItem]) -> None:
+        self._pending -= len(items)
+        live = [item for item in items if not item.future.done()]
+        if self._observed:
+            self._batch_counter.inc()
+            self._batch_size.observe(len(live))
+            self._queue_gauge.set(self._pending)
+        if not live:
+            return
+        if self.injector is not None:
+            try:
+                await self.injector.before_batch(SIM_QUEUE)
+            except InjectedFault as exc:
+                for item in live:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                return
+        # Dedupe identical cells: one simulation serves every waiter.
+        groups: Dict[Any, List[WorkItem]] = {}
+        for item in live:
+            request = item.request
+            groups.setdefault((request.workload, request.scheme),
+                              []).append(item)
+        loop = asyncio.get_running_loop()
+        for (workload, scheme), waiters in groups.items():
+            try:
+                value = await loop.run_in_executor(
+                    None, self._simulate_fn, workload, scheme)
+            except Exception as exc:
+                for item in waiters:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+            else:
+                for item in waiters:
+                    if not item.future.done():
+                        item.future.set_result(value)
+
+    # -- accounting ----------------------------------------------------
+
+    def _finish(self, response: Response) -> Response:
+        if self._observed:
+            histogram = self._latency.get(response.op)
+            if histogram is not None:
+                histogram.observe(response.latency_s)
+            self._queue_gauge.set(self._pending)
+        if self._span_every:
+            self._finished += 1
+            if self._finished % self._span_every == 0:
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.record("serve.request", response.latency_s,
+                                  op=response.op, status=response.status,
+                                  scheme=self.store.scheme)
+        return response
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters + batching/admission/fault summaries."""
+        batches = self._store_batcher.batches + self._sim_batcher.batches
+        batched = (self._store_batcher.batched_items
+                   + self._sim_batcher.batched_items)
+        return {
+            **self.counts,
+            "batches": batches,
+            "batched_items": batched,
+            "mean_batch_size": batched / batches if batches else 0.0,
+            "queue_depth": self._pending,
+            "peak_queue_depth": self.peak_queue_depth,
+            "admission": self.admission.stats(),
+            "faults": self.injector.stats() if self.injector else {},
+        }
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else "stopped"
+        return (f"Frontend({state}, scheme={self.store.scheme!r}, "
+                f"shards={self.store.n_shards}, "
+                f"requests={self.counts['requests']})")

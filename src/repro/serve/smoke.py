@@ -1,0 +1,125 @@
+"""Serving smoke gate (``make serve-check`` / ``python -m repro.serve.smoke``).
+
+Two short load phases assert the serving contract end to end:
+
+1. **low rate** — open-loop Poisson arrivals well under capacity with
+   generous admission: every request must come back ``ok`` (zero
+   rejects, zero timeouts, zero drops).
+2. **overload** — offered rate far above the admitted rate with a tight
+   token bucket and a small queue cap: the frontend must shed load
+   *explicitly* (nonzero rejects), yet still account for every single
+   request — no hangs, no silent drops.
+
+Exits nonzero on any violation, so the Makefile target doubles as a CI
+gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.serve.admission import AdmissionConfig
+from repro.serve.batcher import BatchConfig
+from repro.serve.faults import FaultPolicy
+from repro.serve.frontend import Frontend
+from repro.serve.loadgen import LoadReport, run_open_loop
+from repro.store import ShardedStore, make_traffic
+
+__all__ = ["main", "overload_phase", "low_rate_phase"]
+
+
+class SmokeFailure(AssertionError):
+    """One smoke assertion failed."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def _frontend_factory(scheme: str, admission: AdmissionConfig):
+    def build() -> Frontend:
+        store = ShardedStore(n_shards=32, scheme=scheme, shard_capacity=256)
+        return Frontend(
+            store,
+            batch=BatchConfig(max_batch_size=32, max_wait_s=0.001),
+            admission=admission,
+            policy=FaultPolicy(timeout_s=0.5, max_retries=1),
+        )
+
+    return build
+
+
+def low_rate_phase(n_requests: int = 1000, rate_rps: float = 2500.0,
+                   scheme: str = "pmod", seed: int = 0) -> LoadReport:
+    """Under-capacity traffic: everything must be served ok."""
+    requests = make_traffic("zipfian", n_requests, seed=seed)
+    report = run_open_loop(
+        _frontend_factory(scheme, AdmissionConfig(rate=None,
+                                                  max_queue_depth=100_000)),
+        requests, rate_rps=rate_rps, arrival="poisson", seed=seed)
+    _check(report.n_requests == n_requests,
+           f"low-rate: {report.n_requests}/{n_requests} responses accounted")
+    _check(report.statuses.get("ok", 0) == n_requests,
+           f"low-rate: non-ok responses at low rate: {report.statuses}")
+    _check(report.reject_rate == 0.0,
+           f"low-rate: unexpected rejects: {report.statuses}")
+    return report
+
+
+def overload_phase(n_requests: int = 1500, rate_rps: float = 60_000.0,
+                   scheme: str = "pmod", seed: int = 0) -> LoadReport:
+    """Far-over-capacity traffic: explicit rejects, full accounting."""
+    requests = make_traffic("zipfian", n_requests, seed=seed)
+    admission = AdmissionConfig(rate=5000.0, burst=64, max_queue_depth=128)
+    report = run_open_loop(_frontend_factory(scheme, admission), requests,
+                           rate_rps=rate_rps, arrival="bursty", seed=seed)
+    _check(report.n_requests == n_requests,
+           f"overload: {report.n_requests}/{n_requests} responses accounted")
+    _check(report.statuses.get("rejected", 0) > 0,
+           f"overload: no rejects under overload: {report.statuses}")
+    _check(report.statuses.get("dropped", 0) == 0,
+           f"overload: silent drops: {report.statuses}")
+    _check(report.peak_queue_depth <= admission.max_queue_depth,
+           f"overload: queue grew past the cap "
+           f"({report.peak_queue_depth} > {admission.max_queue_depth})")
+    return report
+
+
+def _describe(phase: str, report: LoadReport) -> str:
+    latency = report.latency
+    return (f"{phase}: {report.n_requests} requests in "
+            f"{report.elapsed_s:.2f}s ({report.throughput_rps:,.0f} rsp/s), "
+            f"statuses={report.statuses}, "
+            f"p50={latency['p50'] * 1e3:.2f}ms "
+            f"p99={latency['p99'] * 1e3:.2f}ms, "
+            f"mean batch={report.mean_batch_size:.1f}, "
+            f"peak queue={report.peak_queue_depth}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=1000,
+                        help="requests per phase (default 1000)")
+    parser.add_argument("--scheme", default="pmod",
+                        help="shard-selection scheme (default pmod)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    try:
+        report = low_rate_phase(args.requests, scheme=args.scheme,
+                                seed=args.seed)
+        print(_describe("low-rate ", report))
+        report = overload_phase(max(args.requests, 200), scheme=args.scheme,
+                                seed=args.seed)
+        print(_describe("overload ", report))
+    except SmokeFailure as failure:
+        print(f"serve smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("serve smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ concurrently (one lock per shard) and reports throughput and tail
 per-shard load.
 """
 
-from repro.store.driver import ReplayReport, replay
+from repro.store.driver import ReplayError, ReplayReport, replay
 from repro.store.engine import ShardedStore, StoreTelemetry
 from repro.store.selector import (
     STORE_SCHEMES,
@@ -41,6 +41,7 @@ from repro.store.traffic import (
 
 __all__ = [
     "Request",
+    "ReplayError",
     "ReplayReport",
     "STORE_SCHEMES",
     "Shard",

@@ -21,11 +21,32 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs import get_registry, trace_span
 from repro.store.engine import ShardedStore, StoreTelemetry
 from repro.store.traffic import Request
+
+
+class ReplayError(RuntimeError):
+    """One replay chunk failed; carries the failure's full context.
+
+    Serial and thread-pool replay raise identically: the *first*
+    failing chunk (by chunk index, i.e. stream order) wins, wrapped
+    with the chunk index, the absolute request index in the original
+    stream, the request's op/key and — when the key still routes — the
+    shard it was headed for.  The original exception rides along as
+    ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, chunk_index: int, request_index: int,
+                 op: str, key, shard: Optional[int] = None):
+        super().__init__(message)
+        self.chunk_index = chunk_index
+        self.request_index = request_index
+        self.op = op
+        self.key = key
+        self.shard = shard
 
 
 def chunk_skew(chunk_wall_s: Sequence[float]) -> float:
@@ -67,19 +88,39 @@ class ReplayReport:
         }
 
 
-def _serve(store: ShardedStore, requests: Sequence[Request]) -> float:
-    """Serve one chunk; returns its wall time in seconds."""
+def _serve(store: ShardedStore, requests: Sequence[Request],
+           chunk_index: int = 0, offset: int = 0) -> float:
+    """Serve one chunk; returns its wall time in seconds.
+
+    Any per-request failure is re-raised as :class:`ReplayError` with
+    the chunk index and the request's absolute stream index, so a
+    failure inside a thread-pool worker is attributable instead of
+    surfacing as a bare traceback from an anonymous chunk.
+    """
     start = time.perf_counter()
     get, put, delete = store.get, store.put, store.delete
-    for request in requests:
-        if request.op == "get":
-            get(request.key)
-        elif request.op == "put":
-            put(request.key, request.value)
-        elif request.op == "delete":
-            delete(request.key)
-        else:
-            raise ValueError(f"unknown request op {request.op!r}")
+    for i, request in enumerate(requests):
+        try:
+            if request.op == "get":
+                get(request.key)
+            elif request.op == "put":
+                put(request.key, request.value)
+            elif request.op == "delete":
+                delete(request.key)
+            else:
+                raise ValueError(f"unknown request op {request.op!r}")
+        except Exception as exc:
+            try:
+                shard: Optional[int] = store.shard_for(request.key)
+            except Exception:
+                shard = None  # the key itself may be what's broken
+            where = f"shard {shard}" if shard is not None else "unroutable"
+            raise ReplayError(
+                f"replay chunk {chunk_index} failed at request "
+                f"{offset + i} ({request.op!r} key={request.key!r}, "
+                f"{where}): {exc}",
+                chunk_index=chunk_index, request_index=offset + i,
+                op=request.op, key=request.key, shard=shard) from exc
     return time.perf_counter() - start
 
 
@@ -101,14 +142,27 @@ def replay(store: ShardedStore, requests: Sequence[Request],
             chunk_wall_s = [_serve(store, requests)]
         else:
             chunk = -(-len(requests) // workers)  # ceil division
-            parts = [requests[i:i + chunk]
-                     for i in range(0, len(requests), chunk)]
+            parts = [(index, offset, requests[offset:offset + chunk])
+                     for index, offset
+                     in enumerate(range(0, len(requests), chunk))]
             with ThreadPoolExecutor(max_workers=len(parts)) as pool:
-                chunk_wall_s = [
-                    future.result()
-                    for future in [pool.submit(_serve, store, part)
-                                   for part in parts]
-                ]
+                futures = [pool.submit(_serve, store, part, index, offset)
+                           for index, offset, part in parts]
+                # Drain every future before raising: a bare
+                # `future.result()` loop would leave later chunks'
+                # exceptions unobserved (and which chunk raised would
+                # depend on thread scheduling).  Collect all outcomes,
+                # then surface the first failure in stream order.
+                outcomes = []
+                for future in futures:
+                    try:
+                        outcomes.append((future.result(), None))
+                    except Exception as exc:  # noqa: BLE001
+                        outcomes.append((None, exc))
+                errors = [exc for _, exc in outcomes if exc is not None]
+                if errors:
+                    raise errors[0]
+                chunk_wall_s = [wall for wall, _ in outcomes]
     elapsed = time.perf_counter() - start
     registry = get_registry()
     if registry.enabled:

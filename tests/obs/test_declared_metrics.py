@@ -1,0 +1,50 @@
+"""Pre-declared metric schema: stable snapshots before first traffic."""
+
+from repro.obs import (
+    CORE_COUNTERS,
+    SERVE_METRICS,
+    STORE_METRICS,
+    MetricsRegistry,
+    declare_core_metrics,
+    enable_observability,
+    get_registry,
+)
+
+
+class TestDeclaredSchema:
+    def test_enable_pre_declares_every_layer(self):
+        """A snapshot taken before any traffic already carries every
+        engine/store/serve series name, all at zero — consumers can
+        rely on the schema without probing which layers ran."""
+        enable_observability()
+        snapshot = get_registry().snapshot()
+        counter_names = {c["name"] for c in snapshot["counters"]}
+        gauge_names = {g["name"] for g in snapshot["gauges"]}
+        histogram_names = {h["name"] for h in snapshot["histograms"]}
+        by_kind = {"counter": counter_names, "gauge": gauge_names,
+                   "histogram": histogram_names}
+        for name in CORE_COUNTERS:
+            assert name in counter_names
+        for metrics in (STORE_METRICS, SERVE_METRICS):
+            for name, kind in metrics.items():
+                assert name in by_kind[kind], f"{name} not pre-declared"
+
+    def test_declared_series_start_at_zero(self):
+        registry = MetricsRegistry(enabled=True)
+        declare_core_metrics(registry)
+        for counter in registry.counters():
+            assert counter.value == 0
+        for histogram in registry.histograms():
+            assert histogram.as_dict()["count"] == 0
+
+    def test_declared_names_do_not_collide_across_layers(self):
+        assert not set(STORE_METRICS) & set(SERVE_METRICS)
+        assert not set(CORE_COUNTERS) & set(STORE_METRICS)
+        assert not set(CORE_COUNTERS) & set(SERVE_METRICS)
+
+    def test_kinds_are_valid_registry_factories(self):
+        registry = MetricsRegistry(enabled=True)
+        for metrics in (STORE_METRICS, SERVE_METRICS):
+            for kind in metrics.values():
+                assert kind in ("counter", "gauge", "histogram")
+                assert callable(getattr(registry, kind))

@@ -143,9 +143,14 @@ class TestDriverChunkTimes:
         enable_observability()
         store = ShardedStore(n_shards=16, scheme="pmod", shard_capacity=64)
         replay(store, make_traffic("zipfian", 1000, seed=0), workers=4)
+        # the unlabeled series pre-declared at enable stays at zero;
+        # the scheme-labeled series carries the four chunk times
         chunk_hist = [h for h in get_registry().histograms()
                       if h.name == "store.replay.chunk_s"]
-        assert chunk_hist and chunk_hist[0].count == 4
+        assert chunk_hist
+        assert sum(h.count for h in chunk_hist) == 4
+        labeled = [h for h in chunk_hist if h.labels.get("scheme") == "pmod"]
+        assert labeled and labeled[0].count == 4
 
 
 class TestFastsimOffPath:

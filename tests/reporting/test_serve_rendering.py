@@ -1,0 +1,46 @@
+"""Tests for the serving latency table and tail-latency chart."""
+
+from repro.reporting import serve_latency_table, serve_tail_chart
+
+
+def _row(scheme, p99=0.01, balance=None):
+    return {
+        "scheme": scheme,
+        "latency": {"p50": 0.002, "p95": 0.006, "p99": p99},
+        "reject_rate": 0.125,
+        "timeout_rate": 0.0,
+        "mean_batch_size": 3.5,
+        "throughput_rps": 9500.0,
+        "balance": balance,
+    }
+
+
+class TestServeLatencyTable:
+    def test_columns_and_units(self):
+        out = serve_latency_table([_row("pmod"), _row("traditional")])
+        assert "p50 ms" in out and "p99 ms" in out
+        assert "12.5%" in out  # reject rate as a percentage
+        assert "2.00" in out  # p50 rendered in milliseconds
+        assert "9,500" in out
+        assert "pmod" in out and "traditional" in out
+
+    def test_balance_column_only_when_present(self):
+        without = serve_latency_table([_row("pmod")])
+        assert "balance" not in without
+        with_balance = serve_latency_table([_row("pmod", balance=1.25)])
+        assert "balance" in with_balance
+        assert "1.250" in with_balance
+
+    def test_title(self):
+        out = serve_latency_table([_row("xor")], title="Serving — test")
+        assert "Serving — test" in out
+
+
+class TestServeTailChart:
+    def test_bars_scale_with_p99(self):
+        out = serve_tail_chart([_row("pmod", p99=0.005),
+                                _row("traditional", p99=0.020)],
+                               title="p99 per scheme")
+        assert "p99 per scheme" in out
+        lines = {line.split()[0]: line for line in out.splitlines()[1:]}
+        assert lines["traditional"].count("#") > lines["pmod"].count("#")

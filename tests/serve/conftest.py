@@ -1,0 +1,14 @@
+"""Shared serve-test helpers + observability isolation."""
+
+import pytest
+
+from repro.obs import disable_observability, get_registry, get_tracer
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_observability():
+    """Serve tests that enable obs leave the globals off and empty."""
+    yield
+    disable_observability()
+    get_registry().clear()
+    get_tracer().clear()

@@ -1,0 +1,119 @@
+"""Load generation: arrival processes, driving loops, reporting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AdmissionConfig,
+    BatchConfig,
+    FaultPolicy,
+    Frontend,
+    arrival_gaps,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.store import ShardedStore, make_traffic
+
+
+def frontend_factory(scheme="pmod", **kwargs):
+    def build():
+        store = ShardedStore(n_shards=16, scheme=scheme, shard_capacity=256)
+        kwargs.setdefault("batch", BatchConfig(max_batch_size=16,
+                                               max_wait_s=0.001))
+        kwargs.setdefault("policy", FaultPolicy(timeout_s=1.0, max_retries=1))
+        return Frontend(store, **kwargs)
+
+    return build
+
+
+class TestArrivalGaps:
+    def test_poisson_mean_matches_rate(self):
+        gaps = arrival_gaps(20000, 1000.0, arrival="poisson", seed=0)
+        assert len(gaps) == 20000
+        assert gaps.mean() == pytest.approx(1e-3, rel=0.05)
+
+    def test_bursty_preserves_mean_rate(self):
+        gaps = arrival_gaps(20000, 1000.0, arrival="bursty", seed=0)
+        # long-run offered rate = n / total time, within sampling noise
+        assert 20000 / gaps.sum() == pytest.approx(1000.0, rel=0.15)
+
+    def test_bursty_has_zero_gaps_inside_bursts(self):
+        gaps = arrival_gaps(5000, 1000.0, arrival="bursty", seed=0)
+        assert np.count_nonzero(gaps == 0.0) > 0
+
+    def test_bursty_is_burstier_than_poisson(self):
+        """Squared coefficient of variation separates the processes."""
+        poisson = arrival_gaps(20000, 1000.0, arrival="poisson", seed=0)
+        bursty = arrival_gaps(20000, 1000.0, arrival="bursty", seed=0)
+
+        def cv2(gaps):
+            return gaps.var() / gaps.mean() ** 2
+
+        assert cv2(bursty) > cv2(poisson)
+
+    def test_deterministic_under_seed(self):
+        a = arrival_gaps(1000, 500.0, arrival="bursty", seed=3)
+        b = arrival_gaps(1000, 500.0, arrival="bursty", seed=3)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"n": 0, "rate_rps": 1.0}, "n must be positive"),
+        ({"n": 10, "rate_rps": 0.0}, "rate_rps must be positive"),
+        ({"n": 10, "rate_rps": 1.0, "arrival": "nope"}, "unknown arrival"),
+        ({"n": 10, "rate_rps": 1.0, "arrival": "bursty", "zipf_a": 1.0},
+         "zipf_a"),
+    ])
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            arrival_gaps(**kwargs)
+
+
+class TestClosedLoop:
+    def test_closed_loop_serves_everything(self):
+        requests = make_traffic("zipfian", 400, seed=0)
+        report = run_closed_loop(frontend_factory(), requests, concurrency=8)
+        assert report.n_requests == 400
+        assert report.ok == 400
+        assert report.concurrency == 8
+        assert report.offered_rps is None
+        assert report.throughput_rps > 0
+        assert report.latency["p50"] <= report.latency["p99"]
+
+    def test_closed_loop_rejects_invalid_concurrency(self):
+        with pytest.raises(ValueError, match="concurrency"):
+            run_closed_loop(frontend_factory(),
+                            make_traffic("zipfian", 10), concurrency=0)
+
+
+class TestOpenLoop:
+    def test_open_loop_accounts_for_every_request(self):
+        requests = make_traffic("zipfian", 300, seed=1)
+        report = run_open_loop(frontend_factory(), requests,
+                               rate_rps=5000.0, arrival="poisson", seed=1)
+        assert report.n_requests == 300
+        assert sum(report.statuses.values()) == 300
+        assert report.arrival == "poisson"
+        assert report.offered_rps == 5000.0
+
+    def test_open_loop_overload_produces_explicit_rejects(self):
+        requests = make_traffic("zipfian", 400, seed=2)
+        factory = frontend_factory(
+            admission=AdmissionConfig(rate=500.0, burst=16,
+                                      max_queue_depth=64))
+        report = run_open_loop(factory, requests, rate_rps=50_000.0,
+                               arrival="bursty", seed=2)
+        assert sum(report.statuses.values()) == 400
+        assert report.statuses.get("rejected", 0) > 0
+        assert report.reject_rate > 0
+        assert report.statuses.get("dropped", 0) == 0
+
+    def test_report_as_dict_is_json_shaped(self):
+        requests = make_traffic("strided", 100, seed=0)
+        report = run_closed_loop(frontend_factory(), requests, concurrency=4)
+        payload = report.as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        for field in ("statuses", "latency", "reject_rate",
+                      "mean_batch_size", "peak_queue_depth"):
+            assert field in payload

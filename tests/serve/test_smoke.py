@@ -1,0 +1,26 @@
+"""The serve smoke gate runs green and its CLI exits cleanly."""
+
+from repro.serve.smoke import low_rate_phase, main, overload_phase
+
+
+class TestPhases:
+    def test_low_rate_phase_all_ok(self):
+        report = low_rate_phase(n_requests=300)
+        assert report.ok == 300
+        assert report.reject_rate == 0.0
+
+    def test_overload_phase_sheds_explicitly(self):
+        report = overload_phase(n_requests=400)
+        assert report.statuses.get("rejected", 0) > 0
+        assert report.statuses.get("dropped", 0) == 0
+
+
+class TestCli:
+    def test_main_exits_zero(self, capsys):
+        assert main(["--requests", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "serve smoke ok" in out
+        assert "low-rate" in out and "overload" in out
+
+    def test_main_accepts_scheme(self, capsys):
+        assert main(["--requests", "250", "--scheme", "xor"]) == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.store import ShardedStore, make_traffic, replay
+from repro.store import ReplayError, ShardedStore, make_traffic, replay
 from repro.store.traffic import Request
 
 
@@ -40,8 +40,57 @@ class TestReplay:
         assert len(store) <= store.capacity
 
     def test_unknown_op_rejected(self):
-        with pytest.raises(ValueError, match="unknown request op"):
+        with pytest.raises(ReplayError, match="unknown request op"):
             replay(_fresh_store(), [Request("frobnicate", 1)])
+
+    def test_threaded_failure_carries_chunk_context(self):
+        """A poisoned request inside a thread-pool chunk must surface
+        as ReplayError naming its chunk, stream index, op and shard —
+        not vanish into the pool or raise from an anonymous worker."""
+        store = _fresh_store()
+        requests = list(make_traffic("zipfian", 400, seed=0))
+        requests[250] = Request("frobnicate", 250)
+        with pytest.raises(ReplayError, match="unknown request op") as info:
+            replay(store, requests, workers=4)
+        error = info.value
+        # 400 requests over 4 workers -> chunks of 100; index 250 is chunk 2.
+        assert error.chunk_index == 2
+        assert error.request_index == 250
+        assert error.op == "frobnicate"
+        assert error.key == 250
+        assert error.shard == store.shard_for(250)
+        assert isinstance(error.__cause__, ValueError)
+
+    def test_threaded_failure_first_in_stream_order_wins(self):
+        """With failures in several chunks, the raised error is the one
+        from the earliest chunk, independent of thread scheduling."""
+        requests = list(make_traffic("zipfian", 400, seed=0))
+        requests[50] = Request("bad-early", 50)
+        requests[350] = Request("bad-late", 350)
+        with pytest.raises(ReplayError) as info:
+            replay(_fresh_store(), requests, workers=4)
+        assert info.value.chunk_index == 0
+        assert info.value.request_index == 50
+        assert info.value.op == "bad-early"
+
+    def test_serial_failure_matches_threaded_shape(self):
+        """The serial path raises the same typed error with the same
+        context fields, so callers handle one exception either way."""
+        requests = list(make_traffic("zipfian", 100, seed=1))
+        requests[7] = Request("frobnicate", 7)
+        with pytest.raises(ReplayError) as info:
+            replay(_fresh_store(), requests, workers=1)
+        assert info.value.chunk_index == 0
+        assert info.value.request_index == 7
+        assert info.value.op == "frobnicate"
+
+    def test_unroutable_key_reports_shard_none(self):
+        """When routing itself fails, the error still carries op/key
+        context with shard=None instead of a secondary crash."""
+        with pytest.raises(ReplayError, match="unroutable") as info:
+            replay(_fresh_store(), [Request("get", None)])
+        assert info.value.shard is None
+        assert info.value.key is None
 
     def test_empty_stream(self):
         report = replay(_fresh_store(), [])

@@ -100,3 +100,54 @@ class TestStructure:
         keys = request_keys(make_traffic("strided", 64))
         assert keys.dtype == np.uint64
         assert len(keys) == 64
+
+
+class TestSkewAndShape:
+    """Parameter sanity: the knobs must actually bend the stream."""
+
+    @staticmethod
+    def _top_key_share(alpha):
+        keys = request_keys(zipfian_traffic(20000, n_keys=1024,
+                                            alpha=alpha, seed=0))
+        _, counts = np.unique(keys, return_counts=True)
+        return counts.max() / len(keys)
+
+    def test_zipfian_alpha_monotone_skew(self):
+        """Raising alpha concentrates traffic on the hottest key."""
+        shares = [self._top_key_share(a) for a in (0.8, 1.1, 1.5)]
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_zipfian_working_set_bounded(self):
+        keys = request_keys(zipfian_traffic(50000, n_keys=256, seed=1))
+        assert len(set(keys.tolist())) <= 256
+
+    def test_zipfian_key_stride_and_base(self):
+        keys = request_keys(zipfian_traffic(2000, n_keys=128, key_stride=64,
+                                            base=7, seed=2))
+        assert np.all((keys - np.uint64(7)) % np.uint64(64) == 0)
+        assert keys.min() >= 7
+
+    def test_strided_base_offset(self):
+        keys = request_keys(strided_traffic(100, stride=3, working_set=1000,
+                                            base=500))
+        assert keys.min() == 500
+        assert np.all((keys - np.uint64(500)) % np.uint64(3) == 0)
+
+    def test_pow2_object_count_bounded(self):
+        keys = request_keys(power_of_two_traffic(5000, alignment=64,
+                                                 n_objects=32, seed=0))
+        unique = set(keys.tolist())
+        assert len(unique) <= 32
+        assert max(unique) <= 31 * 64
+
+    @pytest.mark.parametrize("pattern,kwargs", [
+        ("zipfian", {"n_keys": 512, "alpha": 1.3}),
+        ("strided", {"stride": 8, "working_set": 100}),
+        ("pow2", {"alignment": 128, "n_objects": 64}),
+    ])
+    def test_seeded_determinism_with_kwargs(self, pattern, kwargs):
+        """Determinism must hold for non-default knobs too (the serving
+        experiment and loadgen both rely on it for reproducible runs)."""
+        a = make_traffic(pattern, 300, seed=9, **kwargs)
+        b = make_traffic(pattern, 300, seed=9, **kwargs)
+        assert a == b
