@@ -5,7 +5,7 @@ JOBS ?= 4
 SCALE ?= 1.0
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test verify bench store-bench obs-check serve-check serve-bench eval figures report examples clean
+.PHONY: install test verify bench store-bench obs-check serve-check serve-bench health-check bench-check dash eval figures report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -13,9 +13,12 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# The tier-1 gate: full suite, stop at first failure, quiet output.
+# The tier-1 gate: full suite, stop at first failure, quiet output —
+# then the bench-regression gate over the recorded BENCH_* trajectory
+# (check-only: `make bench-check` is the target that appends history).
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) -m repro.obs.benchguard --no-update
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -42,6 +45,22 @@ serve-check:
 # tail latency; writes BENCH_serve.json at the root.
 serve-bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_serve.py -q -s
+
+# Health gate: the SLO burn-rate fault drill + hash-quality drift
+# drill; exits nonzero unless every watchdog check holds.
+health-check:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.health --check
+
+# Bench-regression gate: compare the current BENCH_*.json headline
+# metrics against the BENCH_history.json trajectory (median of prior
+# runs, noise floor); clean runs append themselves to the history.
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.benchguard
+
+# Render the health dashboard (self-contained HTML) from whatever
+# BENCH_*.json / history live at the root.
+dash:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.dash --bench-root . --out dashboard.html
 
 # Regenerate every registered table/figure through the uniform
 # registry CLI, persisting results under $(CACHE_DIR) so re-runs are
@@ -72,5 +91,5 @@ examples:
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache report.md \
-		.repro-cache artifacts
+		.repro-cache artifacts dashboard.html
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -14,6 +14,7 @@ record future PRs regress the hot path against.
 
 import json
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
@@ -57,7 +58,8 @@ def test_fastsim_speedup(benchmark):
 
     BENCH_PATH.write_text(json.dumps({
         "bench": "fastsim_speedup",
-        "generated_s": time.time(),
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
         "accesses": len(blocks),
         "l2_sets": L2_SETS,
         "l2_assoc": L2_ASSOC,

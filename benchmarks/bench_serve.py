@@ -16,7 +16,7 @@ here would be machine-dependent.
 """
 
 import json
-import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.serve import (
@@ -85,7 +85,8 @@ def test_serve_benchmark():
 
     BENCH_PATH.write_text(json.dumps({
         "bench": "serve",
-        "generated_s": time.time(),
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
         "n_shards": N_SHARDS,
         "shard_capacity": SHARD_CAPACITY,
         "closed_loop": {"scheme": "pmod", "concurrency": 32,

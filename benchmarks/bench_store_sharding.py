@@ -11,7 +11,7 @@ record future PRs regress their serving-path changes against.
 """
 
 import json
-import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.reporting import shard_balance_table
@@ -60,7 +60,8 @@ def test_store_sharding_balance(benchmark):
 
     payload = {
         "bench": "store_sharding",
-        "generated_s": time.time(),
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
         "n_requests": N_REQUESTS,
         "n_shards": N_SHARDS,
         "shard_capacity": SHARD_CAPACITY,

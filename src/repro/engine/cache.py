@@ -43,7 +43,7 @@ import numpy as np
 
 from repro.cpu.simulator import ExecutionResult
 from repro.engine.key import RESULT_SCHEMA_VERSION, SimulationKey
-from repro.obs import get_registry
+from repro.obs import get_journal, get_registry
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -92,6 +92,8 @@ class ResultCache:
         """
         self.corrupt += 1
         get_registry().counter("engine.cache.corrupt").inc()
+        get_journal().emit("engine.cache.corrupt_discard", entry=path.name,
+                           total_corrupt=self.corrupt)
         warnings.warn(
             f"repro result cache: discarding corrupt entry {path.name} "
             f"(total corrupt entries this cache: {self.corrupt})",

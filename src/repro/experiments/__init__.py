@@ -20,6 +20,7 @@ module                      reproduces
 ``shared_cache``            multiprogrammed-L2 interference (extension)
 ``seeds``                   seed-robustness of the headline results
 ``store_sharding``          sharded KV store balance (extension)
+``health``                  SLO burn-rate + drift watchdog drill (extension)
 ========================== ======================================
 
 Each module exposes ``run(...)``, ``render(result)`` and a ``main()``
@@ -57,6 +58,7 @@ EXPERIMENT_MODULES = (
     "seeds",
     "store_sharding",
     "serving",
+    "health",
 )
 
 

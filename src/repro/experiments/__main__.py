@@ -19,6 +19,12 @@ JSON when possible, otherwise as strings.
 run and dumps the metrics + span snapshot (schema in
 ``docs/observability.md``) to PATH next to the artifact; ``--trace``
 turns it on too and prints the rendered span tree after the report.
+``--journal PATH`` additionally records the run's structured event
+log (JSONL, ``docs/observability.md``) — experiment start/finish plus
+whatever lifecycle events the engine/store/serve layers emit; and
+``--dash PATH`` renders the post-run health dashboard (metrics + SLO
+burn rates + drift + journal tail + bench trajectory) as one
+self-contained HTML file.
 """
 
 from __future__ import annotations
@@ -35,7 +41,9 @@ from repro.engine import (
 )
 from repro.experiments.common import context_from_args, standard_argparser
 from repro.obs import (
+    enable_journal,
     enable_observability,
+    get_journal,
     get_registry,
     get_tracer,
     trace_span,
@@ -83,6 +91,12 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--trace", action="store_true",
                         help="enable observability and print the span "
                              "tree after the report")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="enable observability and append the run's "
+                             "structured event log (JSONL) to PATH")
+    parser.add_argument("--dash", default=None, metavar="PATH",
+                        help="enable observability and write the "
+                             "post-run health dashboard HTML to PATH")
     args = parser.parse_args(argv)
     if args.experiment == "list":
         print(list_experiments())
@@ -91,12 +105,24 @@ def main(argv: Optional[List[str]] = None) -> None:
         get_experiment(args.experiment)
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}") from None
-    observed = bool(args.metrics_out or args.trace)
+    observed = bool(args.metrics_out or args.trace or args.journal
+                    or args.dash)
     if observed:
         enable_observability()
+    if args.journal:
+        enable_journal(args.journal)
+    journal = get_journal()
     context = context_from_args(args, **parse_params(args.param))
-    with trace_span("experiment", experiment=args.experiment):
-        artifact = run_experiment(args.experiment, context)
+    journal.emit("experiment.start", experiment=args.experiment,
+                 scale=context.config.scale, seed=context.config.seed)
+    status = "error"
+    try:
+        with trace_span("experiment", experiment=args.experiment):
+            artifact = run_experiment(args.experiment, context)
+        status = "ok"
+    finally:
+        journal.emit("experiment.finish", experiment=args.experiment,
+                     status=status)
     if args.artifact == "-":
         json.dump(artifact, sys.stdout, indent=1)
         print()
@@ -113,6 +139,25 @@ def main(argv: Optional[List[str]] = None) -> None:
         stream = sys.stderr if args.artifact == "-" else sys.stdout
         print(file=stream)
         print(get_tracer().render(), file=stream)
+    if args.dash:
+        from repro.obs.dash import build_dashboard, write_dashboard
+        from repro.obs.health import (
+            HashQualityDetector,
+            SloEngine,
+            default_slos,
+        )
+        engine = SloEngine(default_slos(), registry=get_registry(),
+                           journal=journal)
+        statuses = engine.evaluate()
+        detector = HashQualityDetector(registry=get_registry(),
+                                       journal=journal)
+        drift = detector.evaluate()
+        model = build_dashboard(
+            registry=get_registry(), tracer=get_tracer(), journal=journal,
+            slo_statuses=statuses, alerts=engine.active_alerts(),
+            drift_statuses=drift, bench_root=".")
+        path = write_dashboard(args.dash, model)
+        print(f"health dashboard written to {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -1,20 +1,35 @@
-"""`repro.obs` — unified metrics, tracing, and profiling layer.
+"""`repro.obs` — unified metrics, tracing, journal, and health layer.
 
 One process-wide :class:`MetricsRegistry` (counters, gauges, windowed
 p50/p95/p99 histograms, labeled series), one :class:`SpanTracer`
-(nested wall-time spans via ``perf_counter``), and pluggable sinks
-(JSON snapshot, Prometheus text exposition, human-readable tables).
-The engine (:mod:`repro.engine`), the sharded store
-(:mod:`repro.store`) and the experiment CLI report into it; see
-``docs/observability.md`` for the metric naming conventions and the
-snapshot schema.
+(nested wall-time spans via ``perf_counter``), one append-only event
+:class:`~repro.obs.journal.Journal` (JSONL, monotonic sequence
+numbers), and pluggable sinks (JSON snapshot, Prometheus text
+exposition, human-readable tables).  The engine (:mod:`repro.engine`),
+the sharded store (:mod:`repro.store`) and the serving frontend
+(:mod:`repro.serve`) report into all three; the health layer
+(:mod:`repro.obs.health`) closes the loop — SLO burn-rate alerting and
+hash-quality drift detection over the live registry — and
+:mod:`repro.obs.dash` renders everything into one dashboard.  See
+``docs/observability.md`` for naming conventions and schemas.
 
 Everything starts **disabled** and costs a no-op call on the hot
 paths; ``python -m repro.experiments <name> --metrics-out PATH
-[--trace]`` (or :func:`enable_observability`) switches it on for one
-run and dumps the snapshot next to the artifact.
+[--trace] [--journal PATH] [--dash PATH]`` (or
+:func:`enable_observability`) switches it on for one run and dumps the
+snapshot next to the artifact.
 """
 
+from repro.obs.journal import (
+    EVENT_SCHEMA_VERSION,
+    Journal,
+    JournalEvent,
+    disable_journal,
+    enable_journal,
+    get_journal,
+    set_journal,
+    validate_event,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -37,6 +52,11 @@ from repro.obs.spans import Span, SpanTracer, get_tracer, set_tracer, trace_span
 
 __all__ = [
     "CORE_COUNTERS",
+    "EVENT_SCHEMA_VERSION",
+    "HEALTH_METRICS",
+    "JOURNAL_METRICS",
+    "Journal",
+    "JournalEvent",
     "SERVE_METRICS",
     "STORE_METRICS",
     "Counter",
@@ -49,16 +69,21 @@ __all__ = [
     "Span",
     "SpanTracer",
     "declare_core_metrics",
+    "disable_journal",
     "disable_observability",
+    "enable_journal",
     "enable_observability",
+    "get_journal",
     "get_registry",
     "get_tracer",
     "metrics_snapshot",
     "metrics_table",
+    "set_journal",
     "set_registry",
     "set_tracer",
     "to_prometheus",
     "trace_span",
+    "validate_event",
     "validate_snapshot",
     "write_snapshot",
 ]
@@ -105,15 +130,35 @@ SERVE_METRICS = {
     "serve.queue_depth": "gauge",
 }
 
+#: Event-journal series (`repro.obs.journal`), same contract.
+JOURNAL_METRICS = {
+    "journal.events": "counter",
+    "journal.rotations": "counter",
+}
+
+#: Health-layer series (`repro.obs.health`), same contract.  The
+#: labeled `health.burn_rate{slo,window}` / `health.drift.ok{scheme}`
+#: series still appear on first evaluation; the unlabeled declarations
+#: keep cold and warm snapshots schema-identical.
+HEALTH_METRICS = {
+    "health.evaluations": "counter",
+    "health.alerts": "counter",
+    "health.burn_rate": "gauge",
+    "health.drift.trips": "counter",
+    "health.drift.ok": "gauge",
+}
+
 
 def declare_core_metrics(registry: MetricsRegistry = None) -> None:
     """Materialize the stable snapshot schema on ``registry``:
     :data:`CORE_COUNTERS` plus the :data:`STORE_METRICS` /
-    :data:`SERVE_METRICS` series, all at zero."""
+    :data:`SERVE_METRICS` / :data:`JOURNAL_METRICS` /
+    :data:`HEALTH_METRICS` series, all at zero."""
     registry = registry or get_registry()
     for name in CORE_COUNTERS:
         registry.counter(name)
-    for metrics in (STORE_METRICS, SERVE_METRICS):
+    for metrics in (STORE_METRICS, SERVE_METRICS, JOURNAL_METRICS,
+                    HEALTH_METRICS):
         for name, kind in metrics.items():
             getattr(registry, kind)(name)
 
@@ -122,7 +167,10 @@ def enable_observability(clear: bool = True):
     """Enable the process-wide registry and tracer; returns both.
 
     ``clear`` resets any series/spans accumulated by a previous
-    enable, so one CLI run snapshots only its own events.
+    enable, so one CLI run snapshots only its own events.  The journal
+    is separate opt-in (:func:`enable_journal` / ``--journal PATH``)
+    because it has a durable on-disk sink, but its metric series are
+    declared here so snapshots stay schema-stable either way.
     """
     registry = get_registry().enable()
     tracer = get_tracer().enable()
@@ -134,5 +182,7 @@ def enable_observability(clear: bool = True):
 
 
 def disable_observability():
-    """Disable the process-wide registry and tracer; returns both."""
+    """Disable the process-wide registry, tracer, and journal;
+    returns (registry, tracer)."""
+    disable_journal()
     return get_registry().disable(), get_tracer().disable()

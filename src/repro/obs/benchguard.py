@@ -1,0 +1,302 @@
+"""Bench-regression gating over the repo's ``BENCH_*.json`` outputs.
+
+The benchmarks write machine-readable results at the repo root
+(``BENCH_fastsim.json``, ``BENCH_store.json``, ``BENCH_serve.json``,
+``BENCH_obs.json``); nothing watched them, so a change that halved
+fastsim throughput would ship as long as tests stayed green.  This
+module closes that gap:
+
+* :func:`load_bench_files` reads every ``BENCH_*.json`` under a root;
+* :func:`extract_metrics` pulls each file's *gated metrics* (the
+  headline numbers worth regressing on) via :data:`BENCH_METRICS` —
+  each with a direction (``lower``-is-better time or
+  ``higher``-is-better throughput);
+* a small history file (:data:`DEFAULT_HISTORY_NAME`, bounded to
+  :data:`MAX_HISTORY_ENTRIES` runs) accumulates one metrics row per
+  accepted run;
+* :func:`check` compares the current value against the **median of the
+  historical runs** and flags a regression only when the shortfall
+  exceeds a **noise floor** — median-of-repeats because a single prior
+  run is as noisy as the current one, and a floor because wall-clock
+  benchmarks on shared machines jitter; the gate must measure signal.
+
+``make bench-check`` runs :func:`main`: regressions exit nonzero and
+leave the history untouched; a clean run appends itself so the
+trajectory grows.  A metric with fewer than :data:`MIN_HISTORY_RUNS`
+historical samples is recorded but not yet gated (a median of one run
+is not a baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "BENCH_METRICS",
+    "DEFAULT_HISTORY_NAME",
+    "DEFAULT_NOISE_FLOOR",
+    "HISTORY_SCHEMA_VERSION",
+    "Regression",
+    "append_history",
+    "check",
+    "extract_metrics",
+    "load_bench_files",
+    "load_history",
+    "metric_trajectories",
+    "main",
+]
+
+#: History document version; bump on incompatible change.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default history file name, kept next to the BENCH_*.json files.
+DEFAULT_HISTORY_NAME = "BENCH_history.json"
+
+#: Relative shortfall vs the historical median below which a
+#: difference is treated as scheduler/thermal noise, not regression.
+DEFAULT_NOISE_FLOOR = 0.25
+
+#: History entries retained (newest last).
+MAX_HISTORY_ENTRIES = 40
+
+#: Historical samples a metric needs before it is gated.
+MIN_HISTORY_RUNS = 2
+
+#: Gated metrics per bench document (keyed by the file's ``bench``
+#: field): (metric name, path into the document, direction).
+BENCH_METRICS: Dict[str, Tuple[Tuple[str, Tuple[str, ...], str], ...]] = {
+    "fastsim_speedup": (
+        ("vectorized_s", ("vectorized_s",), "lower"),
+        ("speedup", ("speedup",), "higher"),
+    ),
+    "obs_overhead": (
+        ("disabled_s", ("disabled_s",), "lower"),
+    ),
+    "store_sharding": (
+        ("zipfian_pmod_throughput_rps",
+         ("patterns", "zipfian", "pmod", "throughput_rps"), "higher"),
+        ("strided_pmod_throughput_rps",
+         ("patterns", "strided", "pmod", "throughput_rps"), "higher"),
+    ),
+    "serve": (
+        ("closed_loop_throughput_rps",
+         ("closed_loop", "throughput_rps"), "higher"),
+        ("open_pmod_p99_s",
+         ("open_loop", "schemes", "pmod", "latency", "p99"), "lower"),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric that fell outside the noise floor."""
+
+    metric: str  #: "<bench>.<metric>"
+    direction: str
+    current: float
+    median: float
+    delta_frac: float  #: relative shortfall (positive = worse)
+    noise_floor: float
+    runs: int  #: historical samples behind the median
+
+    def describe(self) -> str:
+        arrow = "slower" if self.direction == "lower" else "lower"
+        return (f"{self.metric}: {self.current:.6g} vs median "
+                f"{self.median:.6g} over {self.runs} runs — "
+                f"{self.delta_frac * 100:.1f}% {arrow} "
+                f"(noise floor {self.noise_floor * 100:.0f}%)")
+
+
+def load_bench_files(root: Union[str, os.PathLike]) -> Dict[str, Dict]:
+    """Every readable ``BENCH_*.json`` under ``root``, keyed by its
+    ``bench`` field (unreadable or unnamed files are skipped — a
+    missing bench is not a regression, it is just not gated)."""
+    docs: Dict[str, Dict] = {}
+    for path in sorted(Path(root).glob("BENCH_*.json")):
+        if path.name == DEFAULT_HISTORY_NAME:
+            continue
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        name = doc.get("bench")
+        if isinstance(name, str) and name:
+            docs[name] = doc
+    return docs
+
+
+def _resolve(doc: Mapping, path: Tuple[str, ...]) -> Optional[float]:
+    node: Any = doc
+    for part in path:
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, (int, float)) and not isinstance(node, bool):
+        return float(node)
+    return None
+
+
+def extract_metrics(doc: Mapping) -> List[Tuple[str, float, str]]:
+    """The gated (metric, value, direction) triples in ``doc``."""
+    rows: List[Tuple[str, float, str]] = []
+    for metric, path, direction in BENCH_METRICS.get(doc.get("bench"), ()):
+        value = _resolve(doc, path)
+        if value is not None:
+            rows.append((metric, value, direction))
+    return rows
+
+
+def current_metrics(root: Union[str, os.PathLike]) -> Dict[str, Tuple[float, str]]:
+    """``"<bench>.<metric>" -> (value, direction)`` for every bench
+    file under ``root``."""
+    out: Dict[str, Tuple[float, str]] = {}
+    for name, doc in load_bench_files(root).items():
+        for metric, value, direction in extract_metrics(doc):
+            out[f"{name}.{metric}"] = (value, direction)
+    return out
+
+
+# -- history -----------------------------------------------------------
+
+
+def load_history(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """The history document at ``path`` (a fresh empty one if absent
+    or unreadable — a corrupt history resets the trajectory rather
+    than blocking the gate)."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return {"schema_version": HISTORY_SCHEMA_VERSION, "entries": []}
+    if (not isinstance(doc, dict)
+            or doc.get("schema_version") != HISTORY_SCHEMA_VERSION
+            or not isinstance(doc.get("entries"), list)):
+        return {"schema_version": HISTORY_SCHEMA_VERSION, "entries": []}
+    return doc
+
+
+def append_history(history: Dict[str, Any],
+                   metrics: Mapping[str, Tuple[float, str]]) -> Dict[str, Any]:
+    """Append one run's metrics; trims to :data:`MAX_HISTORY_ENTRIES`."""
+    entry = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "metrics": {name: value for name, (value, _) in sorted(
+            metrics.items())},
+    }
+    history["entries"] = (history["entries"] + [entry])[-MAX_HISTORY_ENTRIES:]
+    return history
+
+
+def write_history(path: Union[str, os.PathLike],
+                  history: Mapping[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(history, indent=1) + "\n")
+    return path
+
+
+def metric_trajectories(history: Mapping[str, Any]) -> Dict[str, List[float]]:
+    """Per-metric value series across history entries, oldest first."""
+    series: Dict[str, List[float]] = {}
+    for entry in history.get("entries", []):
+        for name, value in entry.get("metrics", {}).items():
+            if isinstance(value, (int, float)):
+                series.setdefault(name, []).append(float(value))
+    return series
+
+
+# -- the gate ----------------------------------------------------------
+
+
+def check(metrics: Mapping[str, Tuple[float, str]],
+          history: Mapping[str, Any],
+          noise_floor: float = DEFAULT_NOISE_FLOOR) -> List[Regression]:
+    """Regressions of ``metrics`` against the history medians.
+
+    A metric regresses when its relative shortfall against the median
+    of its historical samples exceeds ``noise_floor`` in the *bad*
+    direction (slower for ``lower``-is-better, less for ``higher``).
+    Improvements never flag, and metrics with fewer than
+    :data:`MIN_HISTORY_RUNS` samples are not yet gated.
+    """
+    trajectories = metric_trajectories(history)
+    regressions: List[Regression] = []
+    for name, (value, direction) in sorted(metrics.items()):
+        samples = trajectories.get(name, [])
+        if len(samples) < MIN_HISTORY_RUNS:
+            continue
+        median = statistics.median(samples)
+        if median == 0:
+            continue
+        if direction == "lower":
+            delta = (value - median) / abs(median)
+        else:
+            delta = (median - value) / abs(median)
+        if delta > noise_floor:
+            regressions.append(Regression(
+                metric=name, direction=direction, current=value,
+                median=median, delta_frac=delta, noise_floor=noise_floor,
+                runs=len(samples)))
+    return regressions
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_*.json against the recorded trajectory.")
+    parser.add_argument("--root", default=".", metavar="DIR",
+                        help="directory holding BENCH_*.json (default .)")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help=f"history file (default "
+                             f"<root>/{DEFAULT_HISTORY_NAME})")
+    parser.add_argument("--noise-floor", type=float,
+                        default=DEFAULT_NOISE_FLOOR, metavar="FRAC",
+                        help="relative shortfall treated as noise "
+                             f"(default {DEFAULT_NOISE_FLOOR})")
+    parser.add_argument("--no-update", action="store_true",
+                        help="check only; do not append a clean run "
+                             "to the history")
+    args = parser.parse_args(argv)
+    history_path = (Path(args.history) if args.history
+                    else Path(args.root) / DEFAULT_HISTORY_NAME)
+    metrics = current_metrics(args.root)
+    if not metrics:
+        print(f"benchguard: no BENCH_*.json under {args.root}; "
+              "nothing to gate")
+        return 0
+    history = load_history(history_path)
+    regressions = check(metrics, history, noise_floor=args.noise_floor)
+    trajectories = metric_trajectories(history)
+    for name, (value, direction) in sorted(metrics.items()):
+        runs = len(trajectories.get(name, []))
+        gated = "gated" if runs >= MIN_HISTORY_RUNS else (
+            f"recording ({runs}/{MIN_HISTORY_RUNS} runs)")
+        print(f"  {name:<45} {value:>12.6g}  "
+              f"({'lower' if direction == 'lower' else 'higher'} is "
+              f"better, {gated})")
+    if regressions:
+        print(f"benchguard: {len(regressions)} regression(s):",
+              file=sys.stderr)
+        for regression in regressions:
+            print(f"  REGRESSION {regression.describe()}", file=sys.stderr)
+        print("history left untouched; investigate before re-baselining.",
+              file=sys.stderr)
+        return 1
+    if not args.no_update:
+        write_history(history_path, append_history(history, metrics))
+        print(f"benchguard: ok — run appended to {history_path} "
+              f"({len(load_history(history_path)['entries'])} entries)")
+    else:
+        print("benchguard: ok (history not updated)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

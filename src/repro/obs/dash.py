@@ -1,0 +1,427 @@
+"""Unified health dashboard: one document for the whole system's state.
+
+Collects the four observability surfaces into a single *dashboard
+model* (a JSON-serializable dict) and renders it two ways:
+
+* :func:`render_text` — the terminal dashboard (the repo's standard
+  aligned tables plus unicode trend bars);
+* :func:`render_html` — one **self-contained** HTML file: inline CSS,
+  no scripts, no fonts, no images, no external requests of any kind —
+  it renders identically from a file:// open on an air-gapped box.
+
+The model's four sections:
+
+1. **metrics** — a ``--metrics-out`` snapshot (live registry or a
+   snapshot JSON loaded from disk);
+2. **journal tail** — the most recent events from the
+   :mod:`repro.obs.journal` stream;
+3. **health** — active alerts, SLO statuses and drift verdicts from
+   :mod:`repro.obs.health` evaluations;
+4. **bench trajectory** — the ``BENCH_*.json`` metrics plus their
+   :mod:`repro.obs.benchguard` history, sparklined.
+
+CLI::
+
+    python -m repro.obs.dash --snapshot metrics.json \\
+        [--journal run.jsonl] [--bench-root .] [--out dash.html]
+
+renders a dashboard from files on disk; ``python -m repro.experiments
+<name> --dash PATH`` writes one from the live run.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.journal import Journal, get_journal
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sinks import metrics_snapshot
+from repro.obs.spans import SpanTracer
+
+__all__ = [
+    "build_dashboard",
+    "render_html",
+    "render_text",
+    "write_dashboard",
+]
+
+#: Journal-tail rows shown on the dashboard.
+DEFAULT_TAIL_ROWS = 40
+
+#: Unicode trend glyphs for the bench trajectory (oldest -> newest).
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def _now_iso() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _spark(values: Sequence[float]) -> str:
+    """One-line unicode trend bar (empty string for <2 points)."""
+    finite = [v for v in values if isinstance(v, (int, float))
+              and math.isfinite(v)]
+    if len(finite) < 2:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_GLYPHS[0] * len(finite)
+    return "".join(
+        _SPARK_GLYPHS[min(len(_SPARK_GLYPHS) - 1,
+                          int((v - lo) / span * len(_SPARK_GLYPHS)))]
+        for v in finite)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:.6g}"
+    return str(value)
+
+
+def build_dashboard(registry: Optional[MetricsRegistry] = None,
+                    tracer: Optional[SpanTracer] = None,
+                    snapshot: Optional[Mapping] = None,
+                    journal: Optional[Journal] = None,
+                    journal_events: Optional[Sequence[Mapping]] = None,
+                    slo_statuses: Sequence[Any] = (),
+                    alerts: Sequence[Any] = (),
+                    drift_statuses: Sequence[Any] = (),
+                    checks: Optional[Mapping[str, bool]] = None,
+                    bench_root: Union[str, os.PathLike, None] = None,
+                    tail_rows: int = DEFAULT_TAIL_ROWS) -> Dict[str, Any]:
+    """Assemble the dashboard model from whichever sources exist.
+
+    Pass either a live ``registry`` (+ optional ``tracer``) or an
+    already-written ``snapshot`` dict; either a live ``journal`` or
+    decoded ``journal_events``; health results as the
+    ``as_dict()``-able objects the health layer returns (or plain
+    dicts).  ``bench_root`` pulls ``BENCH_*.json`` + history through
+    :mod:`repro.obs.benchguard`.
+    """
+    if snapshot is None and registry is not None:
+        snapshot = metrics_snapshot(registry, tracer)
+    events: List[Dict[str, Any]] = []
+    if journal_events is not None:
+        events = [dict(e) for e in journal_events]
+    elif journal is not None:
+        events = [e.as_dict() for e in journal.tail()]
+    elif get_journal().enabled:
+        events = [e.as_dict() for e in get_journal().tail()]
+
+    def _dictify(items: Sequence[Any]) -> List[Dict[str, Any]]:
+        return [item.as_dict() if hasattr(item, "as_dict") else dict(item)
+                for item in items]
+
+    bench: Dict[str, Any] = {}
+    if bench_root is not None:
+        from repro.obs import benchguard  # deferred: avoid import cycle
+
+        docs = benchguard.load_bench_files(bench_root)
+        history = benchguard.load_history(
+            Path(bench_root) / benchguard.DEFAULT_HISTORY_NAME)
+        trajectory = benchguard.metric_trajectories(history)
+        for name, doc in sorted(docs.items()):
+            for metric, value, direction in benchguard.extract_metrics(doc):
+                series = trajectory.get(f"{name}.{metric}", [])
+                bench[f"{name}.{metric}"] = {
+                    "current": value,
+                    "direction": direction,
+                    "history": series,
+                }
+    return {
+        "generated_at": _now_iso(),
+        "metrics": dict(snapshot) if snapshot is not None else None,
+        "journal_tail": events[-tail_rows:],
+        "journal_events_total": (journal.events if journal is not None
+                                 else len(events)),
+        "slos": _dictify(slo_statuses),
+        "alerts": _dictify(alerts),
+        "drift": _dictify(drift_statuses),
+        "checks": dict(checks) if checks else {},
+        "bench": bench,
+    }
+
+
+# -- terminal rendering ------------------------------------------------
+
+
+def render_text(model: Mapping[str, Any]) -> str:
+    """The dashboard as the repo's standard aligned-table report."""
+    from repro.reporting import format_table  # deferred: keep obs light
+
+    sections: List[str] = [f"health dashboard — {model['generated_at']}"]
+
+    alerts = model.get("alerts") or []
+    if alerts:
+        sections.append(format_table(
+            ["slo", "window", "severity", "burn", "threshold"],
+            [[a["slo"], a["window"], a["severity"],
+              _fmt(a["burn_rate"]), _fmt(a["threshold"])] for a in alerts],
+            title=f"ACTIVE ALERTS ({len(alerts)})"))
+    else:
+        sections.append("alerts: none active")
+
+    slos = model.get("slos") or []
+    if slos:
+        sections.append(format_table(
+            ["slo", "objective", "fast burn", "slow burn", "state"],
+            [[s["name"], _fmt(s["objective"]), _fmt(s["fast_burn"]),
+              _fmt(s["slow_burn"]),
+              "ALERTING" if s["alerting"] else "ok"] for s in slos],
+            title="SLO burn rates"))
+
+    drift = model.get("drift") or []
+    if drift:
+        sections.append(format_table(
+            ["scheme", "balance", "band max", "concentration", "band max",
+             "state"],
+            [[d["scheme"], _fmt(d["balance"]), _fmt(d["balance_max"]),
+              _fmt(d["concentration"]), _fmt(d["concentration_max"]),
+              "ok" if d["ok"] else "DRIFT"] for d in drift],
+            title="hash-quality drift (Eq. 1 / Eq. 2 bands)"))
+
+    checks = model.get("checks") or {}
+    if checks:
+        held = sum(bool(v) for v in checks.values())
+        sections.append(format_table(
+            ["check", "verdict"],
+            [[name, "ok" if ok else "FAIL"]
+             for name, ok in sorted(checks.items())],
+            title=f"checks ({held}/{len(checks)} hold)"))
+
+    bench = model.get("bench") or {}
+    if bench:
+        rows = []
+        for name, cell in sorted(bench.items()):
+            history = cell.get("history") or []
+            rows.append([name, _fmt(cell.get("current")),
+                         cell.get("direction", "-"),
+                         _spark(history) or "-", str(len(history))])
+        sections.append(format_table(
+            ["bench metric", "current", "better", "trend", "runs"],
+            rows, title="bench trajectory (BENCH_*.json + history)"))
+
+    events = model.get("journal_tail") or []
+    if events:
+        rows = [[str(e["seq"]), f"{e['mono_s']:.3f}", e["kind"],
+                 ", ".join(f"{k}={_fmt(v)}"
+                           for k, v in sorted(e["fields"].items())) or "-"]
+                for e in events]
+        sections.append(format_table(
+            ["seq", "t(s)", "event", "fields"], rows,
+            title=f"journal tail ({len(events)} of "
+                  f"{model.get('journal_events_total', len(events))} events)"))
+
+    metrics = model.get("metrics")
+    if metrics:
+        counts = {kind: len(metrics["metrics"][kind])
+                  for kind in ("counters", "gauges", "histograms")}
+        sections.append(
+            f"metrics snapshot: {counts['counters']} counters, "
+            f"{counts['gauges']} gauges, {counts['histograms']} histograms, "
+            f"{len(metrics.get('spans', []))} spans")
+    return "\n\n".join(sections)
+
+
+# -- HTML rendering ----------------------------------------------------
+
+_CSS = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 2rem; background: #fcfcfa; color: #1c1c1c; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { border: 1px solid #d0d0c8; padding: 0.25rem 0.6rem;
+         text-align: right; font-size: 0.85rem; }
+th { background: #efefe8; } td:first-child, th:first-child
+{ text-align: left; }
+.ok { color: #166534; font-weight: bold; }
+.bad { color: #b91c1c; font-weight: bold; }
+.muted { color: #777; }
+.spark { letter-spacing: 1px; }
+"""
+
+
+def _h(value: Any) -> str:
+    return html.escape(_fmt(value))
+
+
+def _html_table(headers: Sequence[str],
+                rows: Sequence[Sequence[str]]) -> List[str]:
+    out = ["<table>", "<tr>" + "".join(f"<th>{html.escape(h)}</th>"
+                                       for h in headers) + "</tr>"]
+    for row in rows:
+        out.append("<tr>" + "".join(f"<td>{cell}</td>" for cell in row)
+                   + "</tr>")
+    out.append("</table>")
+    return out
+
+
+def _verdict(ok: bool, good: str = "ok", bad: str = "FAIL") -> str:
+    return (f'<span class="ok">{good}</span>' if ok
+            else f'<span class="bad">{bad}</span>')
+
+
+def render_html(model: Mapping[str, Any]) -> str:
+    """The dashboard as one self-contained HTML document."""
+    parts: List[str] = [
+        "<!DOCTYPE html>", "<html lang=\"en\"><head>",
+        "<meta charset=\"utf-8\">",
+        "<title>repro health dashboard</title>",
+        f"<style>{_CSS}</style>", "</head><body>",
+        f"<h1>repro health dashboard</h1>",
+        f"<p class=\"muted\">generated {_h(model['generated_at'])} — "
+        "prime-indexed store/serve health: SLO burn rates, hash-quality "
+        "drift, journal, bench trajectory</p>",
+    ]
+
+    alerts = model.get("alerts") or []
+    parts.append("<h2>Active alerts</h2>")
+    if alerts:
+        parts += _html_table(
+            ["slo", "window", "severity", "burn rate", "threshold",
+             "message"],
+            [[_h(a["slo"]), _h(a["window"]),
+              _verdict(False, bad=_fmt(a["severity"])),
+              _h(a["burn_rate"]), _h(a["threshold"]), _h(a["message"])]
+             for a in alerts])
+    else:
+        parts.append(f"<p>{_verdict(True, good='none active')}</p>")
+
+    slos = model.get("slos") or []
+    if slos:
+        parts.append("<h2>SLO burn rates</h2>")
+        parts += _html_table(
+            ["slo", "objective", "fast burn", "slow burn", "state"],
+            [[_h(s["name"]), _h(s["objective"]), _h(s["fast_burn"]),
+              _h(s["slow_burn"]),
+              _verdict(not s["alerting"], bad="ALERTING")] for s in slos])
+
+    drift = model.get("drift") or []
+    if drift:
+        parts.append("<h2>Hash-quality drift (Eq. 1 balance / "
+                     "Eq. 2 concentration)</h2>")
+        parts += _html_table(
+            ["scheme", "balance", "band max", "concentration", "band max",
+             "state"],
+            [[_h(d["scheme"]), _h(d["balance"]), _h(d["balance_max"]),
+              _h(d["concentration"]), _h(d["concentration_max"]),
+              _verdict(d["ok"], bad="DRIFT")] for d in drift])
+
+    checks = model.get("checks") or {}
+    if checks:
+        held = sum(bool(v) for v in checks.values())
+        parts.append(f"<h2>Checks ({held}/{len(checks)} hold)</h2>")
+        parts += _html_table(
+            ["check", "verdict"],
+            [[_h(name), _verdict(bool(ok))]
+             for name, ok in sorted(checks.items())])
+
+    bench = model.get("bench") or {}
+    if bench:
+        parts.append("<h2>Bench trajectory</h2>")
+        rows = []
+        for name, cell in sorted(bench.items()):
+            history = cell.get("history") or []
+            rows.append([
+                _h(name), _h(cell.get("current")),
+                _h(cell.get("direction")),
+                f'<span class="spark">{html.escape(_spark(history))}</span>'
+                if _spark(history) else "-",
+                _h(len(history)),
+            ])
+        parts += _html_table(
+            ["bench metric", "current", "better", "trend", "runs"], rows)
+
+    events = model.get("journal_tail") or []
+    if events:
+        parts.append(
+            f"<h2>Journal tail ({len(events)} of "
+            f"{_h(model.get('journal_events_total', len(events)))} "
+            "events)</h2>")
+        parts += _html_table(
+            ["seq", "t (s)", "event", "fields"],
+            [[_h(e["seq"]), _h(round(e["mono_s"], 3)), _h(e["kind"]),
+              _h(", ".join(f"{k}={_fmt(v)}"
+                           for k, v in sorted(e["fields"].items())) or "-")]
+             for e in events])
+
+    metrics = model.get("metrics")
+    if metrics:
+        parts.append("<h2>Metrics snapshot</h2>")
+        for kind in ("counters", "gauges"):
+            rows = [[_h(m["name"]),
+                     _h(", ".join(f"{k}={v}" for k, v
+                                  in sorted(m["labels"].items())) or "-"),
+                     _h(m["value"])]
+                    for m in metrics["metrics"][kind]]
+            if rows:
+                parts.append(f"<h3>{kind}</h3>")
+                parts += _html_table(["name", "labels", "value"], rows)
+        hist_rows = [[_h(m["name"]),
+                      _h(", ".join(f"{k}={v}" for k, v
+                                   in sorted(m["labels"].items())) or "-"),
+                      _h(m["count"]), _h(m["mean"]), _h(m["p50"]),
+                      _h(m["p95"]), _h(m["p99"]), _h(m["max"])]
+                     for m in metrics["metrics"]["histograms"]]
+        if hist_rows:
+            parts.append("<h3>histograms (windowed percentiles)</h3>")
+            parts += _html_table(
+                ["name", "labels", "count", "mean", "p50", "p95", "p99",
+                 "max"], hist_rows)
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard(path: Union[str, os.PathLike],
+                    model: Mapping[str, Any]) -> Path:
+    """Write the HTML dashboard to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_html(model))
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Render the health dashboard from files on disk.")
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="--metrics-out snapshot JSON")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="journal JSONL file (rotated segment included)")
+    parser.add_argument("--bench-root", default=None, metavar="DIR",
+                        help="directory holding BENCH_*.json + history")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write self-contained HTML here "
+                             "(default: terminal rendering to stdout)")
+    args = parser.parse_args(argv)
+    snapshot = None
+    if args.snapshot:
+        snapshot = json.loads(Path(args.snapshot).read_text())
+    events = None
+    if args.journal:
+        from repro.obs.journal import replay
+
+        events = list(replay(args.journal, strict=False))
+    model = build_dashboard(snapshot=snapshot, journal_events=events,
+                            bench_root=args.bench_root)
+    if args.out:
+        print(f"dashboard written to {write_dashboard(args.out, model)}")
+    else:
+        print(render_text(model))
+
+
+if __name__ == "__main__":
+    main()

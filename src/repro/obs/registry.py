@@ -155,6 +155,15 @@ class Histogram:
                           math.ceil(q / 100.0 * len(ordered)) - 1))
         return ordered[rank]
 
+    def window_values(self) -> List[float]:
+        """The retained observation window, oldest first.
+
+        The raw values back the health layer's threshold counting
+        (fraction of recent observations over an SLO threshold), which
+        a percentile summary cannot answer exactly.
+        """
+        return list(self._window)
+
     def summary(self) -> Dict[str, Any]:
         empty = self.count == 0
         return {
@@ -208,6 +217,9 @@ class NullInstrument:
 
     def percentile(self, q: float) -> float:
         return math.nan
+
+    def window_values(self) -> List[float]:
+        return []
 
     def summary(self) -> Dict[str, Any]:
         return {}
@@ -297,6 +309,19 @@ class MetricsRegistry:
         for _, instrument in items:
             if kind is None or instrument.kind == kind:
                 yield instrument
+
+    def matching(self, name: str, **labels: Any) -> List[Any]:
+        """Instruments named ``name`` whose labels contain ``labels``.
+
+        Label-*subset* match: ``matching("serve.latency_s",
+        scheme="pmod")`` returns every ``serve.latency_s`` series
+        labeled with that scheme regardless of its other labels.  The
+        health layer's SLO evaluation aggregates over this.
+        """
+        wanted = labels.items()
+        return [instrument for instrument in self.series()
+                if instrument.name == name
+                and all(instrument.labels.get(k) == v for k, v in wanted)]
 
     def counters(self) -> List[Counter]:
         return list(self.series("counter"))

@@ -147,6 +147,15 @@ def _prom_name(name: str, suffix: str = "") -> str:
     return cleaned + suffix
 
 
+def _prom_label_value(value: Any) -> str:
+    """A label value escaped per the exposition format: backslash,
+    double quote, and newline must be escaped inside the quotes."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_labels(labels: Dict[str, Any], extra: Dict[str, Any] = None) -> str:
     merged = dict(labels)
     if extra:
@@ -154,7 +163,8 @@ def _prom_labels(labels: Dict[str, Any], extra: Dict[str, Any] = None) -> str:
     if not merged:
         return ""
     body = ",".join(
-        f'{_prom_name(str(k))}="{str(v)}"' for k, v in sorted(merged.items())
+        f'{_prom_name(str(k))}="{_prom_label_value(v)}"'
+        for k, v in sorted(merged.items())
     )
     return "{" + body + "}"
 

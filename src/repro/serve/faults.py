@@ -27,6 +27,8 @@ from typing import Dict, Optional, Set
 
 import numpy as np
 
+from repro.obs import get_journal
+
 __all__ = ["FaultInjector", "FaultPolicy", "InjectedFault"]
 
 
@@ -137,14 +139,20 @@ class FaultInjector:
         """
         if queue_id in self.stalled_shards:
             self.injected["stall"] += 1
+            get_journal().emit("serve.fault.stall", queue_id=queue_id,
+                               stall_s=self.stall_s,
+                               count=self.injected["stall"])
             await asyncio.sleep(self.stall_s)
         if (self.delay_probability > 0.0
                 and self._rng.random() < self.delay_probability):
             self.injected["delay"] += 1
+            get_journal().emit("serve.fault.delay", queue_id=queue_id,
+                               delay_s=self.delay_s)
             await asyncio.sleep(self.delay_s)
         if (self.error_probability > 0.0
                 and self._rng.random() < self.error_probability):
             self.injected["error"] += 1
+            get_journal().emit("serve.fault.error", queue_id=queue_id)
             raise InjectedFault(f"injected error on queue {queue_id}")
 
     def stats(self) -> Dict[str, int]:

@@ -47,7 +47,13 @@ from dataclasses import asdict, dataclass
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.obs import MetricsRegistry, get_registry, get_tracer, trace_span
+from repro.obs import (
+    MetricsRegistry,
+    get_journal,
+    get_registry,
+    get_tracer,
+    trace_span,
+)
 from repro.serve.admission import (
     REASON_QUEUE,
     REASON_RATE,
@@ -257,6 +263,8 @@ class Frontend:
         if reason is not None:
             self.counts["rejected"] += 1
             self._reject_counters[reason].inc()
+            get_journal().emit("serve.admission_reject", op=op,
+                               reason=reason, pending=self._pending)
             return self._finish(Response(
                 op=op, key=key, status="rejected", reason=reason,
                 latency_s=perf_counter() - start))
@@ -290,6 +298,8 @@ class Frontend:
             except FrontendStopped as exc:
                 self.counts["dropped"] += 1
                 self._dropped_counter.inc()
+                get_journal().emit("serve.dropped", op=op,
+                                   retries=retries)
                 return self._finish(Response(
                     op=op, key=key, status="dropped", reason=str(exc),
                     retries=retries, latency_s=perf_counter() - start))
@@ -306,9 +316,14 @@ class Frontend:
                     self.counts["timeouts"] += 1
                     self._timeout_counter.inc()
                     detail = f"timeout after {self.policy.timeout_s}s"
+                    get_journal().emit("serve.timeout", op=op,
+                                       retries=retries,
+                                       timeout_s=self.policy.timeout_s)
                 else:
                     self.counts["errors"] += 1
                     self._error_counter.inc()
+                    get_journal().emit("serve.retry_exhausted", op=op,
+                                       retries=retries, detail=detail)
                 return self._finish(Response(
                     op=op, key=key, status=failure, reason=detail,
                     retries=retries, latency_s=perf_counter() - start))

@@ -23,7 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.obs import get_registry, trace_span
+from repro.obs import get_journal, get_registry, trace_span
 from repro.store.engine import ShardedStore, StoreTelemetry
 from repro.store.traffic import Request
 
@@ -115,6 +115,10 @@ def _serve(store: ShardedStore, requests: Sequence[Request],
             except Exception:
                 shard = None  # the key itself may be what's broken
             where = f"shard {shard}" if shard is not None else "unroutable"
+            get_journal().emit("store.replay.error", chunk=chunk_index,
+                               request=offset + i, op=request.op,
+                               shard=shard, error=f"{type(exc).__name__}: "
+                                                  f"{exc}")
             raise ReplayError(
                 f"replay chunk {chunk_index} failed at request "
                 f"{offset + i} ({request.op!r} key={request.key!r}, "

@@ -2,13 +2,22 @@
 
 import pytest
 
-from repro.obs import disable_observability, get_registry, get_tracer
+from repro.obs import (
+    Journal,
+    disable_observability,
+    get_registry,
+    get_tracer,
+    set_journal,
+)
 
 
 @pytest.fixture(autouse=True)
 def _isolate_global_observability():
-    """Every obs test leaves the global registry/tracer off and empty."""
+    """Every obs test leaves the global registry/tracer off and empty,
+    and the global journal replaced by a fresh disabled one (a test may
+    have installed its own via set_journal/enable_journal)."""
     yield
     disable_observability()
     get_registry().clear()
     get_tracer().clear()
+    set_journal(Journal(enabled=False))

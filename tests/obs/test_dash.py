@@ -1,0 +1,175 @@
+"""The unified dashboard: model assembly, terminal and HTML rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import Journal, MetricsRegistry
+from repro.obs.dash import (
+    build_dashboard,
+    render_html,
+    render_text,
+    write_dashboard,
+)
+from repro.obs.dash import _spark, main as dash_main
+from repro.obs.health import (
+    HashQualityDetector,
+    SloEngine,
+    default_slos,
+    strict_bands,
+)
+
+
+def seeded_sources(tmp_path):
+    """A live registry + journal + health results + bench root, with one
+    drifting scheme and one hostile journal field."""
+    registry = MetricsRegistry(enabled=True)
+    journal = Journal(path=tmp_path / "events.jsonl")
+    registry.counter("serve.requests").inc(10)
+    registry.gauge("store.balance", scheme="pmod").set(1.0)
+    registry.histogram("serve.latency_s").observe(0.003)
+    journal.emit("serve.fault.stall", queue_id=3, stall_s=0.25)
+    journal.emit("odd.payload", note="<script>alert(1)</script>")
+
+    engine = SloEngine(default_slos(), registry=registry, journal=journal)
+    statuses = engine.evaluate()
+    detector = HashQualityDetector(strict_bands(8), registry=registry,
+                                   journal=journal)
+    drift = [detector.grade("pmod", balance=1.0, concentration=0.5),
+             detector.grade("traditional", balance=7.9, concentration=7.0)]
+
+    bench_root = tmp_path / "bench"
+    bench_root.mkdir()
+    (bench_root / "BENCH_obs.json").write_text(json.dumps(
+        {"bench": "obs_overhead", "disabled_s": 0.5}))
+    (bench_root / "BENCH_history.json").write_text(json.dumps({
+        "schema_version": 1,
+        "entries": [
+            {"recorded_at": "t0",
+             "metrics": {"obs_overhead.disabled_s": 0.48}},
+            {"recorded_at": "t1",
+             "metrics": {"obs_overhead.disabled_s": 0.52}},
+        ],
+    }))
+    model = build_dashboard(
+        registry=registry, journal=journal, slo_statuses=statuses,
+        alerts=engine.active_alerts(), drift_statuses=drift,
+        checks={"healthy_phase_quiet": True, "drift_trips": False},
+        bench_root=bench_root)
+    return model
+
+
+class TestModel:
+    def test_sections_are_json_serializable(self, tmp_path):
+        model = seeded_sources(tmp_path)
+        json.dumps(model)  # must not raise
+        assert model["metrics"] is not None
+        assert model["journal_events_total"] == 3  # 2 manual + 1 drift trip
+        assert [s["name"] for s in model["slos"]] == [
+            spec.name for spec in default_slos()]
+        assert {d["scheme"] for d in model["drift"]} == {
+            "pmod", "traditional"}
+        assert model["checks"] == {"healthy_phase_quiet": True,
+                                   "drift_trips": False}
+
+    def test_bench_section_carries_trajectory(self, tmp_path):
+        model = seeded_sources(tmp_path)
+        cell = model["bench"]["obs_overhead.disabled_s"]
+        assert cell["current"] == 0.5
+        assert cell["direction"] == "lower"
+        assert cell["history"] == [0.48, 0.52]
+
+    def test_tail_is_bounded_by_tail_rows(self, tmp_path):
+        journal = Journal()
+        for i in range(10):
+            journal.emit("k", i=i)
+        model = build_dashboard(journal=journal, tail_rows=4)
+        assert [e["fields"]["i"] for e in model["journal_tail"]] == [
+            6, 7, 8, 9]
+        assert model["journal_events_total"] == 10
+
+    def test_journal_events_may_come_from_disk(self, tmp_path):
+        events = [{"seq": 0, "mono_s": 0.1, "kind": "replayed",
+                   "fields": {}, "ts_unix_s": 1.0, "schema_version": 1}]
+        model = build_dashboard(journal_events=events)
+        assert model["journal_tail"][0]["kind"] == "replayed"
+
+    def test_empty_model_renders_both_ways(self):
+        model = build_dashboard()
+        assert "alerts: none active" in render_text(model)
+        assert "<html" in render_html(model)
+
+
+class TestRenderText:
+    def test_all_sections_present(self, tmp_path):
+        text = render_text(seeded_sources(tmp_path))
+        for needle in ("health dashboard", "SLO burn rates",
+                       "hash-quality drift", "checks (1/2 hold)",
+                       "bench trajectory", "journal tail",
+                       "metrics snapshot"):
+            assert needle in text
+        assert "DRIFT" in text  # traditional out of the strict band
+        assert "serve.fault.stall" in text
+
+
+class TestRenderHtml:
+    def test_self_contained_zero_external_assets(self, tmp_path):
+        page = render_html(seeded_sources(tmp_path))
+        assert page.startswith("<!DOCTYPE html>")
+        for forbidden in ("<script", "http://", "https://", "src=",
+                          "@import", "url("):
+            assert forbidden not in page, forbidden
+        assert "<style>" in page  # CSS is inline
+
+    def test_journal_fields_are_escaped(self, tmp_path):
+        page = render_html(seeded_sources(tmp_path))
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_drift_and_checks_verdicts_rendered(self, tmp_path):
+        page = render_html(seeded_sources(tmp_path))
+        assert '<span class="bad">DRIFT</span>' in page
+        assert '<span class="ok">ok</span>' in page
+        assert "Bench trajectory" in page
+
+
+class TestSpark:
+    def test_needs_two_finite_points(self):
+        assert _spark([]) == ""
+        assert _spark([1.0]) == ""
+        assert _spark([1.0, float("nan")]) == ""
+
+    def test_flat_series_renders_floor_glyphs(self):
+        assert _spark([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_rising_series_rises(self):
+        bar = _spark([0.0, 0.5, 1.0])
+        assert len(bar) == 3
+        assert bar[0] < bar[-1]  # glyphs are ordered by codepoint
+
+
+class TestWriteAndCli:
+    def test_write_dashboard_creates_parents(self, tmp_path):
+        out = tmp_path / "deep" / "nested" / "dash.html"
+        written = write_dashboard(out, build_dashboard())
+        assert written == out
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_cli_renders_files_from_disk(self, tmp_path, capsys):
+        journal = Journal(path=tmp_path / "run.jsonl")
+        journal.emit("cli.smoke", n=1)
+        out = tmp_path / "dash.html"
+        dash_main(["--journal", str(tmp_path / "run.jsonl"),
+                   "--out", str(out)])
+        assert "dashboard written to" in capsys.readouterr().out
+        assert "cli.smoke" in out.read_text()
+
+    def test_cli_defaults_to_terminal_rendering(self, tmp_path, capsys):
+        snapshot_path = tmp_path / "metrics.json"
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("serve.requests").inc(3)
+        from repro.obs.sinks import metrics_snapshot
+
+        snapshot_path.write_text(json.dumps(metrics_snapshot(registry)))
+        dash_main(["--snapshot", str(snapshot_path)])
+        assert "metrics snapshot" in capsys.readouterr().out

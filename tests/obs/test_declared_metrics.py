@@ -2,6 +2,8 @@
 
 from repro.obs import (
     CORE_COUNTERS,
+    HEALTH_METRICS,
+    JOURNAL_METRICS,
     SERVE_METRICS,
     STORE_METRICS,
     MetricsRegistry,
@@ -10,12 +12,18 @@ from repro.obs import (
     get_registry,
 )
 
+#: Every declared layer's name -> kind mapping, in one place so the
+#: parity tests below cover new layers automatically.
+DECLARED_LAYERS = (STORE_METRICS, SERVE_METRICS, JOURNAL_METRICS,
+                   HEALTH_METRICS)
+
 
 class TestDeclaredSchema:
     def test_enable_pre_declares_every_layer(self):
         """A snapshot taken before any traffic already carries every
-        engine/store/serve series name, all at zero — consumers can
-        rely on the schema without probing which layers ran."""
+        engine/store/serve/journal/health series name, all at zero —
+        consumers can rely on the schema without probing which layers
+        ran."""
         enable_observability()
         snapshot = get_registry().snapshot()
         counter_names = {c["name"] for c in snapshot["counters"]}
@@ -25,9 +33,45 @@ class TestDeclaredSchema:
                    "histogram": histogram_names}
         for name in CORE_COUNTERS:
             assert name in counter_names
-        for metrics in (STORE_METRICS, SERVE_METRICS):
+        for metrics in DECLARED_LAYERS:
             for name, kind in metrics.items():
                 assert name in by_kind[kind], f"{name} not pre-declared"
+
+    def test_declaration_parity_with_emitting_code(self):
+        """Every ``journal.*`` / ``health.*`` series the journal and
+        health layers emit is pre-declared, and vice versa: a cold
+        snapshot and a post-drill snapshot expose the same unlabeled
+        journal/health names (schema parity, not just a subset)."""
+        from repro.obs import Journal, set_journal
+        from repro.obs.health import (
+            HashQualityDetector,
+            SloEngine,
+            default_slos,
+            strict_bands,
+        )
+
+        registry, _ = enable_observability()
+        cold = {name for name in _names(registry)
+                if name.startswith(("journal.", "health."))}
+
+        journal = Journal()
+        set_journal(journal)
+        journal.emit("parity.probe")
+        engine = SloEngine(default_slos(), registry=registry,
+                           journal=journal)
+        engine.evaluate()
+        detector = HashQualityDetector(strict_bands(8), registry=registry,
+                                       journal=journal)
+        detector.grade("pmod", balance=1.0, concentration=0.0)
+        detector.grade("traditional", balance=99.0, concentration=50.0)
+
+        warm = {name for name in _names(registry)
+                if name.startswith(("journal.", "health."))}
+        declared = set(JOURNAL_METRICS) | set(HEALTH_METRICS)
+        assert cold == declared
+        # Warm adds only *labeled* variants of declared names, never a
+        # journal./health. name that was not declared cold.
+        assert warm == declared
 
     def test_declared_series_start_at_zero(self):
         registry = MetricsRegistry(enabled=True)
@@ -38,13 +82,21 @@ class TestDeclaredSchema:
             assert histogram.as_dict()["count"] == 0
 
     def test_declared_names_do_not_collide_across_layers(self):
-        assert not set(STORE_METRICS) & set(SERVE_METRICS)
-        assert not set(CORE_COUNTERS) & set(STORE_METRICS)
-        assert not set(CORE_COUNTERS) & set(SERVE_METRICS)
+        for i, left in enumerate(DECLARED_LAYERS):
+            assert not set(CORE_COUNTERS) & set(left)
+            for right in DECLARED_LAYERS[i + 1:]:
+                assert not set(left) & set(right)
 
     def test_kinds_are_valid_registry_factories(self):
         registry = MetricsRegistry(enabled=True)
-        for metrics in (STORE_METRICS, SERVE_METRICS):
+        for metrics in DECLARED_LAYERS:
             for kind in metrics.values():
                 assert kind in ("counter", "gauge", "histogram")
                 assert callable(getattr(registry, kind))
+
+
+def _names(registry):
+    snapshot = registry.snapshot()
+    return {row["name"]
+            for kind in ("counters", "gauges", "histograms")
+            for row in snapshot[kind]}

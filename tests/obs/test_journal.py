@@ -1,0 +1,189 @@
+"""The append-only event journal: ordering, schema, rotation, replay."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    EVENT_SCHEMA_VERSION,
+    Journal,
+    disable_journal,
+    enable_journal,
+    enable_observability,
+    get_journal,
+    get_registry,
+    set_journal,
+    validate_event,
+)
+from repro.obs.journal import EVENT_REQUIRED_KEYS, replay
+
+
+class TestEmit:
+    def test_seq_is_monotonic_and_dense(self):
+        journal = Journal()
+        events = [journal.emit("a"), journal.emit("b"), journal.emit("a")]
+        assert [e.seq for e in events] == [0, 1, 2]
+        assert journal.events == 3
+
+    def test_two_clocks(self):
+        journal = Journal()
+        first = journal.emit("tick")
+        second = journal.emit("tick")
+        assert second.mono_s >= first.mono_s >= 0.0
+        assert first.ts_unix_s > 0
+
+    def test_fields_ride_along(self):
+        event = Journal().emit("serve.timeout", op="get", retries=2)
+        assert event.fields == {"op": "get", "retries": 2}
+        assert event.as_dict()["fields"] == {"op": "get", "retries": 2}
+
+    def test_disabled_emit_is_noop(self):
+        journal = Journal(enabled=False)
+        assert journal.emit("anything") is None
+        assert journal.events == 0
+        assert journal.tail() == []
+
+    def test_emit_counts_on_registry_when_enabled(self):
+        enable_observability()
+        journal = Journal()
+        journal.emit("x")
+        journal.emit("y")
+        assert get_registry().counter("journal.events").value == 2
+
+    def test_clear_keeps_seq_rising(self):
+        journal = Journal()
+        journal.emit("before")
+        journal.clear()
+        assert journal.tail() == []
+        assert journal.emit("after").seq == 1
+
+    def test_thread_safety_unique_seq(self):
+        journal = Journal(tail_events=4096)
+        def worker():
+            for _ in range(200):
+                journal.emit("t")
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [e.seq for e in journal.tail()]
+        assert len(seqs) == len(set(seqs)) == 800
+
+
+class TestSchema:
+    def test_as_dict_is_valid_and_versioned(self):
+        event = Journal().emit("k", a=1).as_dict()
+        validate_event(event)  # must not raise
+        assert event["schema_version"] == EVENT_SCHEMA_VERSION
+        assert set(EVENT_REQUIRED_KEYS) <= set(event)
+
+    @pytest.mark.parametrize("mutate,match", [
+        (lambda e: e.pop("seq"), "missing"),
+        (lambda e: e.update(schema_version=99), "schema"),
+        (lambda e: e.update(seq=-1), "seq"),
+        (lambda e: e.update(kind=""), "kind"),
+        (lambda e: e.update(fields=[1, 2]), "fields"),
+    ])
+    def test_validate_rejects_malformed(self, mutate, match):
+        event = Journal().emit("k").as_dict()
+        mutate(event)
+        with pytest.raises(ValueError, match=match):
+            validate_event(event)
+
+    def test_unserializable_fields_are_stringified(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path=path)
+        journal.emit("odd", obj=object())
+        (line,) = path.read_text().splitlines()
+        decoded = json.loads(line)
+        assert "object object" in decoded["fields"]["obj"]
+
+
+class TestTailAndFind:
+    def test_tail_is_bounded(self):
+        journal = Journal(tail_events=3)
+        for i in range(5):
+            journal.emit("k", i=i)
+        assert [e.fields["i"] for e in journal.tail()] == [2, 3, 4]
+        assert [e.fields["i"] for e in journal.tail(2)] == [3, 4]
+
+    def test_find_matches_exact_and_dotted_prefix(self):
+        journal = Journal()
+        journal.emit("serve.fault.stall")
+        journal.emit("serve.faulty")  # not a dotted child of serve.fault
+        journal.emit("serve.fault.delay")
+        kinds = [e.kind for e in journal.find("serve.fault")]
+        assert kinds == ["serve.fault.stall", "serve.fault.delay"]
+        assert [e.kind for e in journal.find("serve.fault.stall")] == [
+            "serve.fault.stall"]
+
+
+class TestSinkAndRotation:
+    def test_jsonl_lines_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = Journal(path=path)
+        journal.emit("one", n=1)
+        journal.emit("two", n=2)
+        events = list(replay(path))
+        assert [e["kind"] for e in events] == ["one", "two"]
+        assert [e["seq"] for e in events] == [0, 1]
+
+    def test_rotation_bounds_disk_and_keeps_one_backup(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = Journal(path=path, max_bytes=300)
+        for i in range(40):
+            journal.emit("fill", i=i)
+        assert journal.rotations >= 1
+        assert path.with_name("events.jsonl.1").exists()
+        assert path.stat().st_size <= 300
+
+    def test_replay_reads_rotated_segment_first(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = Journal(path=path, max_bytes=300)
+        for i in range(40):
+            journal.emit("fill", i=i)
+        seqs = [e["seq"] for e in replay(path)]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 39
+
+    def test_replay_strict_raises_tolerant_skips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = Journal(path=path)
+        journal.emit("good")
+        with open(path, "a") as stream:
+            stream.write("not json\n")
+        journal.emit("also-good")
+        with pytest.raises(ValueError, match="bad journal line"):
+            list(replay(path))
+        kinds = [e["kind"] for e in replay(path, strict=False)]
+        assert kinds == ["good", "also-good"]
+
+    def test_rotation_increments_registry_counter(self, tmp_path):
+        enable_observability()
+        journal = Journal(path=tmp_path / "j.jsonl", max_bytes=200)
+        for i in range(20):
+            journal.emit("fill", i=i)
+        assert get_registry().counter("journal.rotations").value >= 1
+
+
+class TestGlobals:
+    def test_global_starts_disabled(self):
+        assert get_journal().enabled is False
+
+    def test_enable_journal_installs_enabled_instance(self, tmp_path):
+        journal = enable_journal(tmp_path / "j.jsonl")
+        assert get_journal() is journal
+        assert journal.enabled
+        journal.emit("e")
+        assert (tmp_path / "j.jsonl").exists()
+        disable_journal()
+        assert get_journal().enabled is False
+
+    def test_set_journal_returns_previous(self):
+        mine = Journal()
+        previous = set_journal(mine)
+        assert get_journal() is mine
+        assert previous is not mine
+        set_journal(previous)

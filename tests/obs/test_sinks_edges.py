@@ -1,0 +1,87 @@
+"""Sink edge cases: empty exposition, label escaping, window eviction."""
+
+import math
+
+from repro.obs import MetricsRegistry
+from repro.obs.sinks import metrics_snapshot, to_prometheus, validate_snapshot
+
+
+def make_registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestEmptyRegistry:
+    def test_prometheus_of_empty_registry_is_empty_string(self):
+        assert to_prometheus(make_registry()) == ""
+
+    def test_snapshot_of_empty_registry_still_validates(self):
+        snapshot = metrics_snapshot(make_registry())
+        validate_snapshot(snapshot)
+        assert snapshot["metrics"] == {"counters": [], "gauges": [],
+                                       "histograms": []}
+
+
+class TestLabelEscaping:
+    def test_quote_backslash_and_newline_are_escaped(self):
+        registry = make_registry()
+        registry.counter("odd", path='C:\\tmp\\"x"\nnext').inc()
+        (line,) = [l for l in to_prometheus(registry).splitlines()
+                   if not l.startswith("#")]
+        assert line == ('odd_total{path="C:\\\\tmp\\\\\\"x\\"\\nnext"} 1')
+
+    def test_escaped_exposition_stays_single_line_per_sample(self):
+        registry = make_registry()
+        registry.gauge("g", note="a\nb\nc").set(1.0)
+        body = to_prometheus(registry)
+        assert len(body.strip().splitlines()) == 2  # TYPE header + sample
+        assert '\\n' in body
+
+    def test_plain_labels_are_untouched(self):
+        registry = make_registry()
+        registry.counter("serve.requests", scheme="pmod").inc(3)
+        assert 'scheme="pmod"' in to_prometheus(registry)
+
+
+class TestHistogramWindowEviction:
+    def test_window_drops_oldest_at_boundary(self):
+        registry = make_registry()
+        histogram = registry.histogram("h", window=4)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.window_values() == [1.0, 2.0, 3.0, 4.0]
+        histogram.observe(5.0)  # boundary crossed: 1.0 evicted
+        assert histogram.window_values() == [2.0, 3.0, 4.0, 5.0]
+
+    def test_lifetime_stats_survive_eviction(self):
+        registry = make_registry()
+        histogram = registry.histogram("h", window=2)
+        for value in (10.0, 1.0, 1.0, 1.0):
+            histogram.observe(value)
+        # 10.0 left the window but lifetime count/sum/max keep it.
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == 13.0
+        assert summary["max"] == 10.0
+        # Percentiles are windowed: the outlier no longer skews them.
+        assert histogram.percentile(99) == 1.0
+
+    def test_prometheus_summary_reflects_window_and_lifetime(self):
+        registry = make_registry()
+        histogram = registry.histogram("lat", window=2)
+        for value in (5.0, 0.1, 0.2):
+            histogram.observe(value)
+        body = to_prometheus(registry)
+        assert 'lat{quantile=0.99} 0.2' in body.replace('"', "")
+        assert "lat_count 3" in body
+        assert "lat_sum 5.3" in body
+
+    def test_empty_histogram_serializes_nan_free(self):
+        registry = make_registry()
+        registry.histogram("empty")
+        snapshot = metrics_snapshot(registry)
+        (row,) = snapshot["metrics"]["histograms"]
+        assert row["count"] == 0
+        assert row["mean"] is None  # NaN became null-safe None
+        validate_snapshot(snapshot)
+        body = to_prometheus(registry)
+        assert "NaN" in body  # exposition format spells it out instead
