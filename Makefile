@@ -5,7 +5,7 @@ JOBS ?= 4
 SCALE ?= 1.0
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test verify bench store-bench obs-check serve-check serve-bench health-check bench-check dash eval figures report examples clean
+.PHONY: install test verify bench store-bench obs-check serve-check serve-bench health-check reshard-check reshard-bench bench-check dash eval figures report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,7 @@ test:
 # (check-only: `make bench-check` is the target that appends history).
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.reshard --check
 	PYTHONPATH=src $(PYTHON) -m repro.obs.benchguard --no-update
 
 bench:
@@ -50,6 +51,17 @@ serve-bench:
 # drill; exits nonzero unless every watchdog check holds.
 health-check:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.health --check
+
+# Reshard gate: live prime-ladder resize under zipfian traffic; exits
+# nonzero unless the reshard contract holds (zero key loss, bounded
+# in-flight moves, Figure 5 ordering preserved post-resize).
+reshard-check:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.reshard --check
+
+# Online-reshard benchmark: migration drain rate + during-migration
+# throughput; writes BENCH_reshard.json at the root.
+reshard-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_reshard.py -q -s
 
 # Bench-regression gate: compare the current BENCH_*.json headline
 # metrics against the BENCH_history.json trajectory (median of prior

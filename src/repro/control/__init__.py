@@ -1,0 +1,40 @@
+"""`repro.control` — the remediation controller closing the
+detect→remediate loop.
+
+The health layer (:mod:`repro.obs.health`) can *detect* a sick store —
+burn-rate pages, hash-quality drift verdicts, stalled-shard fault
+events on the journal — but until this package nothing could *act* on
+the detection.  :class:`RemediationController` consumes exactly those
+signals and drives the epoch-versioned routing machinery
+(:mod:`repro.store.routing`, :meth:`repro.store.ShardedStore.
+begin_reshard`, :class:`repro.store.Migrator`) to remediate live:
+
+* **quarantine** — a fast-window latency page plus fresh
+  ``serve.fault.stall`` journal events names the stalled shards; the
+  controller routes around them without dropping the store;
+* **scheme swap** — a :class:`~repro.obs.health.HashQualityDetector`
+  drift trip on the store's scheme triggers an online reshard onto the
+  configured target scheme (pMod by default — the paper's fix for
+  conflict pile-ups, applied as an operational action);
+* **grow / shrink** — capacity pages walk the shard count along the
+  scheme's ladder (:func:`repro.store.ladder_up` — the *prime* ladder
+  for pMod via :func:`repro.mathutil.next_prime`).
+
+Every decision lands on the journal (``control.action`` /
+``control.quarantine``) and the pre-declared ``control.*`` counters, so
+the loop's behavior is as observable as the symptoms it reacts to.
+"""
+
+from repro.control.controller import (
+    Action,
+    ControlConfig,
+    Observation,
+    RemediationController,
+)
+
+__all__ = [
+    "Action",
+    "ControlConfig",
+    "Observation",
+    "RemediationController",
+]

@@ -1,0 +1,288 @@
+"""The observe → decide → apply remediation loop.
+
+:class:`RemediationController` is deliberately a *polled* controller,
+matching the :class:`~repro.obs.health.SloEngine` it consumes: each
+:meth:`RemediationController.step` evaluates the health layer, reads
+the journal's fault stream since its cursor, decides a (possibly
+empty) list of :class:`Action`\\ s, and applies them through the
+store's epoch machinery.  There is no background thread — the drill,
+a serving loop, or a cron tick calls ``step()``; everything the
+controller did is reconstructable from the journal.
+
+Decision rules (in priority order):
+
+1. **Stalled shards** — an active fast-window page on the latency SLO
+   *and* fresh ``serve.fault.stall`` events since the last step name
+   the shard ids to quarantine.  Both signals are required: stall
+   events without a page mean the fault policy is absorbing the damage
+   (no action needed), a page without stall events has no target.
+2. **Drift** — the detector holds a trip for the store's *current*
+   scheme: reshard onto ``config.target_scheme`` (or, if the store
+   already runs the target scheme, grow one ladder rung — more shards
+   is the remaining lever).
+3. **Capacity** — an active page on the reject-rate SLO grows the
+   shard count one rung up the scheme's ladder.
+
+Each reshard action runs its migration to completion inside
+:meth:`~RemediationController.apply` (bounded-budget chunks via
+:class:`~repro.store.Migrator`), so a step returns with the store
+already on the new epoch and serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs import Journal, MetricsRegistry, get_journal, get_registry
+from repro.obs.health import Alert, DriftStatus, HashQualityDetector, SloEngine
+from repro.store import Migrator, ShardedStore
+from repro.store.migrate import DEFAULT_MOVE_BUDGET
+
+__all__ = ["Action", "ControlConfig", "Observation", "RemediationController"]
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Tunables for one controller.
+
+    Attributes:
+        target_scheme: scheme a drift trip reshard lands on (pMod — the
+            paper's prime-modulo fix — unless overridden).
+        latency_slo: SLO name whose fast page gates quarantining.
+        reject_slo: SLO name whose page triggers a capacity grow.
+        migration_budget: per-chunk key budget for controller-run
+            migrations.
+        max_quarantine_fraction: ceiling on the quarantined share of
+            the fleet — the controller must never route around so many
+            shards that the survivors become the hot spot.
+    """
+
+    target_scheme: str = "pmod"
+    latency_slo: str = "serve-p99-latency"
+    reject_slo: str = "serve-reject-rate"
+    migration_budget: int = DEFAULT_MOVE_BUDGET
+    max_quarantine_fraction: float = 0.5
+
+    def __post_init__(self):
+        if self.migration_budget < 1:
+            raise ValueError("migration_budget must be positive")
+        if not 0.0 < self.max_quarantine_fraction <= 1.0:
+            raise ValueError(
+                "max_quarantine_fraction must be within (0, 1]")
+
+
+@dataclass(frozen=True)
+class Action:
+    """One decided remediation, before/after application."""
+
+    kind: str  #: "quarantine" | "scheme_swap" | "grow" | "shrink"
+    reason: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "reason": self.reason,
+                "detail": dict(self.detail)}
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One step's gathered evidence."""
+
+    alerts: List[Alert]
+    tripped: List[DriftStatus]
+    stalled_shards: List[int]
+
+    def paging(self, slo: str) -> bool:
+        """Whether ``slo`` has an active fast-window (paging) alert."""
+        return any(a.slo == slo and a.window == "fast" for a in self.alerts)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "alerts": [a.as_dict() for a in self.alerts],
+            "tripped": [t.as_dict() for t in self.tripped],
+            "stalled_shards": list(self.stalled_shards),
+        }
+
+
+class RemediationController:
+    """Polled controller wiring health signals to routing actions.
+
+    Args:
+        store: the store to remediate.
+        slo_engine: burn-rate engine to evaluate each step.
+        detector: drift detector to evaluate each step (optional).
+        config: decision tunables.
+        journal: event stream read (fault events) and written
+            (``control.*`` events); process-global by default.
+        registry: metrics registry for the ``control.*`` counters.
+    """
+
+    def __init__(self, store: ShardedStore, slo_engine: SloEngine,
+                 detector: Optional[HashQualityDetector] = None,
+                 config: Optional[ControlConfig] = None,
+                 journal: Optional[Journal] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        self.store = store
+        self.slo_engine = slo_engine
+        self.detector = detector
+        self.config = config or ControlConfig()
+        self._journal = journal
+        self._registry = registry
+        #: journal seq cursor: fault events at or below it are consumed.
+        self._fault_cursor = -1
+        self.steps = 0
+        self.applied: List[Action] = []
+
+    @property
+    def journal(self) -> Journal:
+        return self._journal if self._journal is not None else get_journal()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    # -- observe -------------------------------------------------------
+
+    def observe(self) -> Observation:
+        """Evaluate the health layer and drain fresh fault events."""
+        self.slo_engine.evaluate()
+        if self.detector is not None:
+            self.detector.evaluate()
+        stalled: List[int] = []
+        seen = set()
+        cursor = self._fault_cursor
+        for event in self.journal.find("serve.fault.stall"):
+            if event.seq <= self._fault_cursor:
+                continue
+            cursor = max(cursor, event.seq)
+            queue_id = event.fields.get("queue_id")
+            if isinstance(queue_id, int) and queue_id not in seen:
+                seen.add(queue_id)
+                stalled.append(queue_id)
+        self._fault_cursor = cursor
+        tripped = self.detector.tripped() if self.detector is not None else []
+        return Observation(alerts=self.slo_engine.active_alerts(),
+                           tripped=list(tripped),
+                           stalled_shards=stalled)
+
+    # -- decide --------------------------------------------------------
+
+    def _quarantine_candidates(self, shard_ids: Sequence[int]) -> List[int]:
+        """Valid, novel shard ids that fit under the quarantine cap."""
+        table = self.store.routing
+        candidates = [s for s in shard_ids
+                      if 0 <= s < table.n_shards
+                      and s not in table.quarantined]
+        cap = int(table.n_shards * self.config.max_quarantine_fraction)
+        room = cap - len(table.quarantined)
+        return candidates[:max(0, room)]
+
+    def decide(self, observation: Observation) -> List[Action]:
+        """Map one observation to remediation actions (may be empty)."""
+        actions: List[Action] = []
+        if (observation.stalled_shards
+                and observation.paging(self.config.latency_slo)):
+            shards = self._quarantine_candidates(observation.stalled_shards)
+            if shards:
+                actions.append(Action(
+                    kind="quarantine",
+                    reason=(f"fast-window page on "
+                            f"{self.config.latency_slo} with stall "
+                            f"events on shards {shards}"),
+                    detail={"shards": shards}))
+        current_scheme = self.store.scheme
+        for status in observation.tripped:
+            if status.scheme != current_scheme:
+                continue
+            if current_scheme != self.config.target_scheme:
+                actions.append(Action(
+                    kind="scheme_swap",
+                    reason=(f"drift trip on {current_scheme} "
+                            f"(balance {status.balance:.2f} > "
+                            f"{status.balance_max:g})"),
+                    detail={"from_scheme": current_scheme,
+                            "to_scheme": self.config.target_scheme}))
+            else:
+                actions.append(Action(
+                    kind="grow",
+                    reason=(f"drift trip on target scheme "
+                            f"{current_scheme}; spreading load up the "
+                            f"ladder"),
+                    detail={"from_n_shards": self.store.n_shards}))
+            break  # one routing change per step
+        if (not any(a.kind in ("scheme_swap", "grow") for a in actions)
+                and observation.paging(self.config.reject_slo)):
+            actions.append(Action(
+                kind="grow",
+                reason=f"fast-window page on {self.config.reject_slo}",
+                detail={"from_n_shards": self.store.n_shards}))
+        return actions
+
+    # -- apply ---------------------------------------------------------
+
+    def _reshard_to(self, table) -> Dict[str, Any]:
+        self.store.begin_reshard(table)
+        report = Migrator(self.store, budget=self.config.migration_budget,
+                          registry=self.registry).run()
+        self.registry.counter("control.reshards").inc()
+        return report.as_dict()
+
+    def apply(self, action: Action) -> Action:
+        """Execute one action against the store; returns the action
+        enriched with the outcome in ``detail``."""
+        registry = self.registry
+        detail = dict(action.detail)
+        if action.kind == "quarantine":
+            table = self.store.quarantine(detail["shards"])
+            registry.counter("control.quarantines").inc()
+            self.journal.emit("control.quarantine",
+                              shards=list(detail["shards"]),
+                              epoch=table.epoch_id,
+                              quarantined=sorted(table.quarantined),
+                              reason=action.reason)
+            detail["epoch"] = table.epoch_id
+        elif action.kind == "scheme_swap":
+            table = self.store.routing.reschemed(detail["to_scheme"])
+            detail["migration"] = self._reshard_to(table)
+            registry.counter("control.scheme_swaps").inc()
+        elif action.kind == "grow":
+            detail["migration"] = self._reshard_to(self.store.routing.grown())
+            detail["to_n_shards"] = self.store.n_shards
+        elif action.kind == "shrink":
+            detail["migration"] = self._reshard_to(self.store.routing.shrunk())
+            detail["to_n_shards"] = self.store.n_shards
+        else:
+            raise ValueError(f"unknown action kind {action.kind!r}")
+        registry.counter("control.actions").inc()
+        applied = Action(kind=action.kind, reason=action.reason,
+                         detail=detail)
+        self.journal.emit("control.action", action=applied.kind,
+                          reason=applied.reason,
+                          epoch=self.store.epoch,
+                          scheme=self.store.scheme,
+                          n_shards=self.store.n_shards)
+        self.applied.append(applied)
+        return applied
+
+    # -- the loop ------------------------------------------------------
+
+    def step(self) -> List[Action]:
+        """One observe → decide → apply cycle; returns applied actions."""
+        self.steps += 1
+        self.registry.counter("control.evaluations").inc()
+        observation = self.observe()
+        return [self.apply(action) for action in self.decide(observation)]
+
+    def shrink(self, reason: str = "operator request") -> Action:
+        """Explicit one-rung shrink (not reachable from ``decide`` —
+        scale-down is an operator/policy call, not an alert reflex)."""
+        return self.apply(Action(kind="shrink", reason=reason,
+                                 detail={"from_n_shards":
+                                         self.store.n_shards}))
+
+    def __repr__(self) -> str:
+        return (f"RemediationController(steps={self.steps}, "
+                f"applied={len(self.applied)}, "
+                f"store={self.store.scheme}/{self.store.n_shards}"
+                f"@e{self.store.epoch})")

@@ -21,6 +21,7 @@ module                      reproduces
 ``seeds``                   seed-robustness of the headline results
 ``store_sharding``          sharded KV store balance (extension)
 ``health``                  SLO burn-rate + drift watchdog drill (extension)
+``reshard``                 live prime-ladder reshard contract (extension)
 ========================== ======================================
 
 Each module exposes ``run(...)``, ``render(result)`` and a ``main()``
@@ -59,6 +60,7 @@ EXPERIMENT_MODULES = (
     "store_sharding",
     "serving",
     "health",
+    "reshard",
 )
 
 

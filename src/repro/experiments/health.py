@@ -13,6 +13,16 @@ end to end, the way a deployment would trust it:
   ``serve-p99-latency`` burn-rate alert.  The journal must show the
   whole causal chain in order: ``serve.fault.stall`` →
   ``serve.timeout`` → ``health.alert_fired``.
+* **Self-healing** — the fault drill no longer ends at the page.  A
+  :class:`~repro.control.RemediationController` consumes the very
+  alerts and ``serve.fault.stall`` journal events the stalled phase
+  produced, quarantines the stalled shards (an epoch bump routing
+  around them — see :mod:`repro.store.routing`), and a recovery phase
+  over the *same* store and the *same still-faulty* injector must
+  bring the fast-window burn back under the paging threshold with no
+  operator input.  The journal shows the full closed loop in order:
+  ``serve.fault.stall`` → ``serve.timeout`` → ``health.alert_fired``
+  → ``control.quarantine`` → ``health.alert_resolved``.
 * **Drift drill** — strided (power-of-two stride) traffic replayed
   through one store per scheme, graded by a
   :class:`~repro.obs.health.HashQualityDetector` under
@@ -20,7 +30,7 @@ end to end, the way a deployment would trust it:
   the asserted invariant: traditional modulo trips the balance band
   (its conflict pathology, live), while pMod and pDisp stay green.
 
-The artifact's ``checks`` block records both drills' verdicts;
+The artifact's ``checks`` block records all three drills' verdicts;
 ``python -m repro.experiments.health --check`` (the ``make
 health-check`` target) exits nonzero unless every check holds.
 """
@@ -46,6 +56,7 @@ from repro.obs import (
     get_registry,
     set_journal,
 )
+from repro.control import ControlConfig, RemediationController
 from repro.obs.health import (
     HashQualityDetector,
     SloEngine,
@@ -88,27 +99,32 @@ def hottest_shards(scheme: str, requests: Sequence, n_shards: int,
 def drill(scheme: str, requests: Sequence, *, n_shards: int = 8,
           stall_shards: Sequence[int] = (), stall_s: float = 0.25,
           timeout_s: float = P99_TARGET_S, rate_rps: float = 3000.0,
-          seed: int = 0) -> Dict:
+          seed: int = 0, store: Optional[ShardedStore] = None,
+          injector: Optional[FaultInjector] = None) -> Dict:
     """One open-loop serving phase; returns the load-report payload.
+
+    A provided ``store``/``injector`` is reused as-is (the frontend is
+    still rebuilt — it holds asyncio primitives bound to the phase's
+    event loop), which is how the self-healing drill keeps faults and
+    quarantine state alive across phases.  Without them, fresh ones
+    are built (the ``injector`` only when ``stall_shards`` is
+    non-empty).
 
     Unlike :func:`repro.experiments.serving.measure` this deliberately
     does **not** publish the store's balance gauges: the drill's
     zipfian popularity skew is workload skew, not hashing drift, and
     must not leak into the drift drill's detector.
     """
-    injector: Optional[FaultInjector] = None
+    if injector is None and stall_shards:
+        injector = FaultInjector(stall_s=stall_s, seed=seed)
+        for shard in stall_shards:
+            injector.stall(shard % n_shards)
 
     def build() -> Frontend:
-        store = ShardedStore(n_shards=n_shards, scheme=scheme,
-                             shard_capacity=256)
-        nonlocal injector
-        injector = None
-        if stall_shards:
-            injector = FaultInjector(stall_s=stall_s, seed=seed)
-            for shard in stall_shards:
-                injector.stall(shard % n_shards)
+        backend = store if store is not None else ShardedStore(
+            n_shards=n_shards, scheme=scheme, shard_capacity=256)
         return Frontend(
-            store,
+            backend,
             batch=BatchConfig(max_batch_size=32, max_wait_s=0.001),
             admission=AdmissionConfig(rate=None, burst=128,
                                       max_queue_depth=512),
@@ -142,7 +158,8 @@ def _journal_chain(journal: Journal) -> Dict[str, Optional[int]]:
     """First-occurrence sequence numbers of the causal chain."""
     chain: Dict[str, Optional[int]] = {}
     for kind in ("serve.fault.stall", "serve.timeout",
-                 "health.alert_fired"):
+                 "health.alert_fired", "control.quarantine",
+                 "health.alert_resolved"):
         events = journal.find(kind)
         chain[kind] = events[0].seq if events else None
     return chain
@@ -151,12 +168,16 @@ def _journal_chain(journal: Journal) -> Dict[str, Optional[int]]:
 def health_checks(healthy: Sequence[Mapping], stalled: Sequence[Mapping],
                   alerts: Sequence[Mapping], stall_payload: Mapping,
                   drift: Mapping[str, Mapping],
-                  chain: Mapping[str, Optional[int]]) -> Dict[str, bool]:
-    """The watchdog contract, asserted on the artifact."""
+                  chain: Mapping[str, Optional[int]],
+                  remediation: Mapping) -> Dict[str, bool]:
+    """The watchdog + remediation contract, asserted on the artifact."""
     stall_seq = chain.get("serve.fault.stall")
     timeout_seq = chain.get("serve.timeout")
     alert_seq = chain.get("health.alert_fired")
+    quarantine_seq = chain.get("control.quarantine")
     statuses = stall_payload["statuses"]
+    actions = remediation.get("actions", [])
+    post_alerts = remediation.get("post_alerts", [])
     return {
         "healthy_phase_quiet": not any(s["alerting"] for s in healthy),
         "stall_fires_fast_page": any(
@@ -168,6 +189,15 @@ def health_checks(healthy: Sequence[Mapping], stalled: Sequence[Mapping],
             stall_seq is not None and timeout_seq is not None
             and alert_seq is not None
             and stall_seq < timeout_seq < alert_seq),
+        # -- the closed loop: detect → remediate → recover --------------
+        "controller_quarantines": any(
+            a["kind"] == "quarantine" for a in actions),
+        "quarantine_follows_page": (
+            alert_seq is not None and quarantine_seq is not None
+            and alert_seq < quarantine_seq),
+        "fast_page_resolved": not any(
+            a["window"] == "fast" and a["slo"] == "serve-p99-latency"
+            for a in post_alerts),
         "traditional_drift_trips": not drift["traditional"]["ok"],
         "pmod_within_band": drift["pmod"]["ok"],
         "pdisp_within_band": drift["pdisp"]["ok"],
@@ -202,10 +232,44 @@ def run(scale: float = 1.0, seed: int = 0, n_shards: int = 8,
         n_stalled = 2 * n_healthy
         stall_requests = make_traffic("zipfian", n_stalled, seed=seed + 1)
         stall_shards = hottest_shards("pmod", stall_requests, n_shards)
+        # The store and the (still-faulty) injector survive into the
+        # recovery phase: the controller fixes routing, not the fault.
+        fault_store = ShardedStore(n_shards=n_shards, scheme="pmod",
+                                   shard_capacity=256)
+        fault_injector = FaultInjector(stall_s=0.25, seed=seed)
+        for shard in stall_shards:
+            fault_injector.stall(shard % n_shards)
         stall_payload = drill("pmod", stall_requests, n_shards=n_shards,
-                              stall_shards=stall_shards, seed=seed)
+                              stall_shards=stall_shards, seed=seed,
+                              store=fault_store, injector=fault_injector)
         stalled_statuses = [s.as_dict() for s in engine.evaluate()]
         alerts = [a.as_dict() for a in engine.active_alerts()]
+
+        # -- self-healing: controller remediates, SLO must recover ------
+        controller = RemediationController(fault_store, engine,
+                                           config=ControlConfig(),
+                                           journal=journal,
+                                           registry=get_registry())
+        actions = [a.as_dict() for a in controller.step()]
+        # Recovery traffic must outweigh the stalled phase ~3:1 so the
+        # latency histogram's bounded fast window (4096 observations
+        # per series) drains below the paging burn threshold.
+        n_recovery = 3 * n_stalled
+        recovery_requests = make_traffic("zipfian", n_recovery,
+                                         seed=seed + 2)
+        recovery_payload = drill("pmod", recovery_requests,
+                                 n_shards=n_shards,
+                                 stall_shards=stall_shards, seed=seed,
+                                 store=fault_store,
+                                 injector=fault_injector)
+        recovery_statuses = [s.as_dict() for s in engine.evaluate()]
+        post_alerts = [a.as_dict() for a in engine.active_alerts()]
+        remediation = {
+            "actions": actions,
+            "quarantined": sorted(fault_store.routing.quarantined),
+            "epoch": fault_store.epoch,
+            "post_alerts": post_alerts,
+        }
 
         detector = HashQualityDetector(strict_bands(drift_shards),
                                        registry=get_registry(),
@@ -226,11 +290,15 @@ def run(scale: float = 1.0, seed: int = 0, n_shards: int = 8,
                         "slos": stalled_statuses,
                         "stall_shards": stall_shards},
             "alerts": alerts,
+            "remediation": remediation,
+            "recovery": {"payload": recovery_payload,
+                         "slos": recovery_statuses},
             "drift": drift,
             "journal": {"events": journal.events,
                         "by_kind": by_kind, "chain": chain},
             "checks": health_checks(healthy_statuses, stalled_statuses,
-                                    alerts, stall_payload, drift, chain),
+                                    alerts, stall_payload, drift, chain,
+                                    remediation),
         }
     finally:
         if not was_enabled:
@@ -266,10 +334,20 @@ def render(data: Mapping) -> str:
     ]
     alerts = data["alerts"]
     if alerts:
-        sections.append("active alerts: " + "; ".join(
+        sections.append("alerts after stall: " + "; ".join(
             f"[{a['severity']}] {a['message']}" for a in alerts))
     else:
-        sections.append("active alerts: none")
+        sections.append("alerts after stall: none")
+    remediation = data.get("remediation", {})
+    if remediation:
+        action_names = [a["kind"] for a in remediation.get("actions", [])]
+        post = remediation.get("post_alerts", [])
+        sections.append(
+            f"remediation: actions={action_names or 'none'}, "
+            f"quarantined={remediation.get('quarantined', [])} "
+            f"(epoch {remediation.get('epoch')}); "
+            f"alerts after recovery: "
+            f"{[a['slo'] + '/' + a['window'] for a in post] or 'none'}")
     chain = data["journal"]["chain"]
     sections.append(
         "journal chain (seq): " + " -> ".join(

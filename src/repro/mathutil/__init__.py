@@ -15,6 +15,8 @@ from repro.mathutil.bits import (
     split_address,
 )
 from repro.mathutil.primes import (
+    LADDER_INPUT_BOUND,
+    MILLER_RABIN_DETERMINISTIC_BOUND,
     is_mersenne_prime,
     is_prime,
     largest_prime_below,
@@ -25,6 +27,8 @@ from repro.mathutil.primes import (
 )
 
 __all__ = [
+    "LADDER_INPUT_BOUND",
+    "MILLER_RABIN_DETERMINISTIC_BOUND",
     "bit_field",
     "bit_length",
     "circular_shift_left",

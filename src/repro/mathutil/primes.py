@@ -17,9 +17,30 @@ _MILLER_RABIN_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
 
 _SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
 
+#: Largest integer (exclusive) for which the witness set above is a
+#: *proof*, not a probabilistic argument (Sorenson & Webster 2015).
+MILLER_RABIN_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+#: Inputs the ladder functions (:func:`next_prime` / :func:`prev_prime`)
+#: accept.  Shard, set, and key counts in this codebase are all 64-bit;
+#: capping here keeps every ladder walk inside the deterministic
+#: Miller-Rabin range with margin (the prime gap below 2**66 is < 1500).
+LADDER_INPUT_BOUND = 1 << 64
+
 
 def is_prime(n: int) -> bool:
-    """Return True if ``n`` is prime (deterministic for n < 2**64)."""
+    """Return True if ``n`` is prime (deterministic for n < 2**64).
+
+    Raises ValueError for ``n`` at or beyond
+    :data:`MILLER_RABIN_DETERMINISTIC_BOUND`, where the fixed witness
+    set stops being a proof — a wrong "prime" there would silently
+    corrupt a shard count, so the function refuses rather than guesses.
+    """
+    if n >= MILLER_RABIN_DETERMINISTIC_BOUND:
+        raise ValueError(
+            f"is_prime({n}) exceeds the deterministic Miller-Rabin "
+            f"bound {MILLER_RABIN_DETERMINISTIC_BOUND}"
+        )
     if n < 2:
         return False
     for p in _SMALL_PRIMES:
@@ -49,10 +70,19 @@ def is_prime(n: int) -> bool:
 def prev_prime(n: int) -> int:
     """Return the largest prime strictly less than ``n``.
 
-    Raises ValueError when no prime exists below ``n`` (i.e. n <= 2).
+    Raises ValueError when no prime exists below ``n`` (i.e. ``n <= 2``
+    — including zero and negative inputs) and for ``n`` beyond
+    :data:`LADDER_INPUT_BOUND`, so a resize controller walking the
+    prime ladder gets a loud error instead of a silently unproven
+    primality verdict.
     """
     if n <= 2:
         raise ValueError(f"no prime below {n}")
+    if n > LADDER_INPUT_BOUND:
+        raise ValueError(
+            f"prev_prime({n}) exceeds the supported input bound "
+            f"2**64 (shard/set counts are 64-bit)"
+        )
     candidate = n - 1
     if candidate > 2 and candidate % 2 == 0:
         candidate -= 1
@@ -64,7 +94,19 @@ def prev_prime(n: int) -> int:
 
 
 def next_prime(n: int) -> int:
-    """Return the smallest prime strictly greater than ``n``."""
+    """Return the smallest prime strictly greater than ``n``.
+
+    Accepts any ``n`` up to :data:`LADDER_INPUT_BOUND` (negative inputs
+    included — the answer is 2); larger inputs raise ValueError because
+    the search would leave the range this module can certify.  Bertrand's
+    postulate bounds the walk, so the result for any accepted input is
+    still safely below the deterministic Miller-Rabin limit.
+    """
+    if n > LADDER_INPUT_BOUND:
+        raise ValueError(
+            f"next_prime({n}) exceeds the supported input bound "
+            f"2**64 (shard/set counts are 64-bit)"
+        )
     candidate = max(n + 1, 2)
     if candidate > 2 and candidate % 2 == 0:
         candidate += 1

@@ -51,6 +51,7 @@ from repro.obs.sinks import (
 from repro.obs.spans import Span, SpanTracer, get_tracer, set_tracer, trace_span
 
 __all__ = [
+    "CONTROL_METRICS",
     "CORE_COUNTERS",
     "EVENT_SCHEMA_VERSION",
     "HEALTH_METRICS",
@@ -113,6 +114,8 @@ STORE_METRICS = {
     "store.concentration": "gauge",
     "store.tail_load": "gauge",
     "store.hit_rate": "gauge",
+    "store.epoch": "gauge",
+    "store.migrated_keys": "counter",
 }
 
 #: Serving-layer (`repro.serve`) series, same contract as
@@ -128,6 +131,7 @@ SERVE_METRICS = {
     "serve.latency_s": "histogram",
     "serve.batch_size": "histogram",
     "serve.queue_depth": "gauge",
+    "serve.rebinds": "counter",
 }
 
 #: Event-journal series (`repro.obs.journal`), same contract.
@@ -148,17 +152,29 @@ HEALTH_METRICS = {
     "health.drift.ok": "gauge",
 }
 
+#: Remediation-controller series (`repro.control`), same contract.
+#: All unlabeled counters: the controller's identity is the journal's
+#: ``control.*`` events; the counters only rate its activity.
+CONTROL_METRICS = {
+    "control.evaluations": "counter",
+    "control.actions": "counter",
+    "control.quarantines": "counter",
+    "control.reshards": "counter",
+    "control.scheme_swaps": "counter",
+}
+
 
 def declare_core_metrics(registry: MetricsRegistry = None) -> None:
     """Materialize the stable snapshot schema on ``registry``:
     :data:`CORE_COUNTERS` plus the :data:`STORE_METRICS` /
     :data:`SERVE_METRICS` / :data:`JOURNAL_METRICS` /
-    :data:`HEALTH_METRICS` series, all at zero."""
+    :data:`HEALTH_METRICS` / :data:`CONTROL_METRICS` series, all at
+    zero."""
     registry = registry or get_registry()
     for name in CORE_COUNTERS:
         registry.counter(name)
     for metrics in (STORE_METRICS, SERVE_METRICS, JOURNAL_METRICS,
-                    HEALTH_METRICS):
+                    HEALTH_METRICS, CONTROL_METRICS):
         for name, kind in metrics.items():
             getattr(registry, kind)(name)
 

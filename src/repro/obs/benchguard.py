@@ -91,6 +91,11 @@ BENCH_METRICS: Dict[str, Tuple[Tuple[str, Tuple[str, ...], str], ...]] = {
         ("open_pmod_p99_s",
          ("open_loop", "schemes", "pmod", "latency", "p99"), "lower"),
     ),
+    "reshard": (
+        ("migrate_keys_per_s", ("migrate_keys_per_s",), "higher"),
+        ("pmod_during_reshard_rps",
+         ("schemes", "pmod", "during_rps"), "higher"),
+    ),
 }
 
 

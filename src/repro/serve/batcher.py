@@ -99,6 +99,11 @@ class Batcher:
     def started(self) -> bool:
         return bool(self._tasks)
 
+    @property
+    def n_queues(self) -> int:
+        """How many independent queues this batcher fans out over."""
+        return self._n_queues
+
     async def start(self) -> "Batcher":
         if self.started:
             return self

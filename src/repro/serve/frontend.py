@@ -164,10 +164,14 @@ class Frontend:
         self.injector = injector
         self.admission = AdmissionController(admission or AdmissionConfig())
         self._simulate_fn = simulate_fn
+        self._batch_config = batch or BatchConfig()
         self._store_batcher = Batcher(store.n_shards, self._run_store_batch,
-                                      batch or BatchConfig())
+                                      self._batch_config)
         self._sim_batcher = Batcher(1, self._run_sim_batch,
-                                    batch or BatchConfig())
+                                    self._batch_config)
+        self._bound_epoch = store.epoch
+        self._rebind_task: Optional[asyncio.Task] = None
+        self.rebinds = 0
         self._pending = 0
         self.peak_queue_depth = 0
         self._span_every = max(0, span_every)
@@ -217,6 +221,8 @@ class Frontend:
 
     async def stop(self) -> None:
         """Stop the batchers; still-queued requests resolve as dropped."""
+        if self._rebind_task is not None and not self._rebind_task.done():
+            await self._rebind_task
         dropped = (await self._store_batcher.stop()
                    + await self._sim_batcher.stop())
         for item in dropped:
@@ -276,12 +282,18 @@ class Frontend:
                     op=op, key=key, status="error",
                     reason="no simulator configured",
                     latency_s=perf_counter() - start))
-            batcher, queue_id = self._sim_batcher, 0
+            sim = True
         else:
-            batcher, queue_id = (self._store_batcher,
-                                 self.store.shard_for(key))
+            sim = False
         retries = 0
         while True:
+            # Routing is re-resolved every attempt: a reshard may have
+            # swapped the store's epoch (and a rebind the batcher)
+            # while this request slept in backoff.
+            if sim:
+                batcher, queue_id = self._sim_batcher, 0
+            else:
+                batcher, queue_id = self._route(key)
             item = WorkItem.make(request)
             self._pending += 1
             if self._pending > self.peak_queue_depth:
@@ -331,6 +343,72 @@ class Frontend:
             self.counts["retries"] += 1
             self._retry_counter.inc()
             await asyncio.sleep(self.policy.backoff_s(retries))
+
+    # -- epoch-aware routing -------------------------------------------
+
+    @property
+    def bound_epoch(self) -> int:
+        """The routing epoch the store batcher's queues are sized for."""
+        return self._bound_epoch
+
+    def _route(self, key) -> "tuple[Batcher, int]":
+        """(batcher, queue_id) for one store request under the current
+        routing epoch.
+
+        When the store's epoch has moved past the bound one, a rebind
+        is scheduled (not awaited — admission never blocks on it) and
+        the shard id is clamped onto the still-bound queue set.  The
+        clamp only affects batching *locality*, never correctness: the
+        executor operates on the store by key, and the store routes by
+        its own current table.
+        """
+        if self.store.epoch != self._bound_epoch:
+            self._schedule_rebind()
+        batcher = self._store_batcher
+        return batcher, self.store.shard_for(key) % batcher.n_queues
+
+    def _schedule_rebind(self) -> None:
+        if self._rebind_task is not None and not self._rebind_task.done():
+            return
+        self._rebind_task = asyncio.get_running_loop().create_task(
+            self._rebind(), name="frontend-rebind")
+
+    async def _rebind(self) -> None:
+        """Swap in a batcher sized for the store's current epoch.
+
+        The new batcher starts before the old one stops, and the old
+        one's undispatched items are resubmitted (re-routed) onto the
+        new queues, so no request is lost and admission stays up for
+        the whole swap.  Loops in case the epoch moved again mid-swap.
+        """
+        while self._bound_epoch != self.store.epoch:
+            target_epoch = self.store.epoch
+            fresh = Batcher(self.store.n_shards, self._run_store_batch,
+                            self._batch_config)
+            await fresh.start()
+            stale, self._store_batcher = self._store_batcher, fresh
+            self._bound_epoch = target_epoch
+            undispatched = await stale.stop()
+            for item in undispatched:
+                key = getattr(item.request, "key", None)
+                fresh.submit(self.store.shard_for(key) % fresh.n_queues,
+                             item)
+            self.rebinds += 1
+            self._registry.counter("serve.rebinds",
+                                   scheme=self.store.scheme).inc()
+            get_journal().emit("serve.rebind", epoch=target_epoch,
+                               n_queues=fresh.n_queues,
+                               scheme=self.store.scheme,
+                               resubmitted=len(undispatched))
+
+    async def rebind_routing(self) -> int:
+        """Ensure the batcher matches the store's routing epoch; waits
+        for any in-flight rebind to finish.  Returns the bound epoch."""
+        if self.store.epoch != self._bound_epoch:
+            self._schedule_rebind()
+        if self._rebind_task is not None:
+            await self._rebind_task
+        return self._bound_epoch
 
     # -- batch executors (Batcher callbacks) ---------------------------
 
@@ -441,6 +519,8 @@ class Frontend:
             "mean_batch_size": batched / batches if batches else 0.0,
             "queue_depth": self._pending,
             "peak_queue_depth": self.peak_queue_depth,
+            "rebinds": self.rebinds,
+            "bound_epoch": self._bound_epoch,
             "admission": self.admission.stats(),
             "faults": self.injector.stats() if self.injector else {},
         }

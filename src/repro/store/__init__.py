@@ -21,11 +21,20 @@ per-shard load.
 
 from repro.store.driver import ReplayError, ReplayReport, replay
 from repro.store.engine import ShardedStore, StoreTelemetry
+from repro.store.migrate import DEFAULT_MOVE_BUDGET, MigrationReport, Migrator
+from repro.store.routing import (
+    RoutingTable,
+    ladder_down,
+    ladder_up,
+    normalize_shard_count,
+    prime_capable,
+)
 from repro.store.selector import (
     STORE_SCHEMES,
     ShardSelector,
     available_selectors,
     make_selector,
+    make_selector_exact,
 )
 from repro.store.shard import Shard, ShardStats
 from repro.store.traffic import (
@@ -40,9 +49,13 @@ from repro.store.traffic import (
 )
 
 __all__ = [
+    "DEFAULT_MOVE_BUDGET",
+    "MigrationReport",
+    "Migrator",
     "Request",
     "ReplayError",
     "ReplayReport",
+    "RoutingTable",
     "STORE_SCHEMES",
     "Shard",
     "ShardSelector",
@@ -52,9 +65,14 @@ __all__ = [
     "TRAFFIC_PATTERNS",
     "available_patterns",
     "available_selectors",
+    "ladder_down",
+    "ladder_up",
     "make_selector",
+    "make_selector_exact",
     "make_traffic",
+    "normalize_shard_count",
     "power_of_two_traffic",
+    "prime_capable",
     "replay",
     "request_keys",
     "strided_traffic",

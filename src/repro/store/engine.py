@@ -1,12 +1,12 @@
-"""The store front end: routing, per-shard segments, live telemetry.
+"""The store front end: epoch routing, per-shard segments, telemetry.
 
 :class:`ShardedStore` is the piece that turns the paper's indexing
 functions into a serving system: every ``get``/``put``/``delete`` routes
-its key through a :class:`~repro.store.selector.ShardSelector`, lands on
-one lock-guarded :class:`~repro.store.shard.Shard`, and appends the
-chosen shard id to a bounded telemetry window.  From that observed
-shard-access stream the store computes, live, the paper's two quality
-metrics via :mod:`repro.hashing.analysis`:
+its key through the current :class:`~repro.store.routing.RoutingTable`
+epoch, lands on one lock-guarded :class:`~repro.store.shard.Shard`, and
+appends the chosen shard id to a bounded telemetry window.  From that
+observed shard-access stream the store computes, live, the paper's two
+quality metrics via :mod:`repro.hashing.analysis`:
 
 * **balance** (Eq. 1) over the per-shard access histogram — how evenly
   the traffic spread across shards;
@@ -15,6 +15,23 @@ metrics via :mod:`repro.hashing.analysis`:
 
 Those are exactly the numbers the strided sweeps of Figures 5 and 6
 report for L2 sets, here measured on real served traffic.
+
+**Online resharding.**  The routing table is swappable at runtime:
+:meth:`ShardedStore.begin_reshard` installs a successor epoch with a
+fresh shard fleet while keeping the previous epoch's shards readable.
+During migration the store runs *dual-epoch*:
+
+* reads consult the new epoch first and fall through to the old one,
+  promoting any hit into the new epoch (so hot keys migrate themselves);
+* writes land only on the new epoch, and erase the key from the old one
+  so a later delete can never be undone by a stale old-epoch copy;
+* deletes apply to both epochs.
+
+:meth:`ShardedStore.commit_reshard` retires the old epoch once the
+:class:`~repro.store.migrate.Migrator` has drained it.  Quarantining
+(:meth:`ShardedStore.quarantine`) swaps in a same-shards successor
+table that routes around the named shards — keys resident there become
+cache misses, the store stays up.
 """
 
 from __future__ import annotations
@@ -24,17 +41,35 @@ import threading
 from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional
 
 import numpy as np
 
 from repro.hashing.analysis import balance_from_counts, concentration_from_sets
-from repro.obs import MetricsRegistry, get_registry
-from repro.store.selector import ShardSelector, StoreKey, canonical_key, make_selector
+from repro.obs import MetricsRegistry, get_journal, get_registry
+from repro.store.routing import RoutingTable
+from repro.store.selector import ShardSelector, StoreKey, canonical_key
 from repro.store.shard import Shard
 
 #: Default shard-access window the telemetry metrics are computed over.
 DEFAULT_TELEMETRY_WINDOW = 1 << 16
+
+#: Sentinel distinguishing "not stored" from a stored ``None``.
+_MISS = object()
+
+
+class _EpochState(NamedTuple):
+    """One atomic snapshot of the store's routing generation(s).
+
+    Swapped as a unit under the epoch lock; the serving path reads the
+    attribute once and works off a consistent (table, shards, old)
+    view without taking the lock.
+    """
+
+    table: RoutingTable
+    shards: List[Shard]
+    old_table: Optional[RoutingTable]
+    old_shards: Optional[List[Shard]]
 
 
 @dataclass(frozen=True)
@@ -59,6 +94,7 @@ class StoreTelemetry:
     balance: float
     concentration: float
     tail_load: float  #: max per-shard accesses / ideal per-shard share
+    epoch: int = 0
     shard_accesses: List[int] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -77,6 +113,7 @@ class StoreTelemetry:
             "balance": self.balance,
             "concentration": self.concentration,
             "tail_load": self.tail_load,
+            "epoch": self.epoch,
             "shard_accesses": list(self.shard_accesses),
         }
 
@@ -87,7 +124,9 @@ class ShardedStore:
     Args:
         n_shards: power-of-two physical shard count; ``pmod`` uses the
             largest prime below it, leaving the rest idle (Table 1's
-            fragmentation, transplanted to shards).
+            fragmentation, transplanted to shards).  Exact prime counts
+            are reachable at runtime through :meth:`begin_reshard` with
+            a prime-ladder :class:`RoutingTable`.
         scheme: shard-selection scheme key from
             :data:`~repro.store.selector.STORE_SCHEMES`.
         shard_capacity: max entries per shard.
@@ -96,28 +135,47 @@ class ShardedStore:
         telemetry_window: how many recent shard accesses the
             concentration metric is computed over (bounded so telemetry
             cost stays O(window), not O(traffic)).
+        routing: explicit starting :class:`RoutingTable`; overrides
+            ``scheme``/``n_shards`` when given.
     """
 
     def __init__(self, n_shards: int = 64, scheme: str = "pmod",
                  shard_capacity: int = 512, assoc: int = 8,
                  replacement: str = "lru",
                  telemetry_window: int = DEFAULT_TELEMETRY_WINDOW,
-                 registry: Optional[MetricsRegistry] = None):
-        self.selector: ShardSelector = make_selector(scheme, n_shards)
-        self.shards: List[Shard] = [
-            Shard(shard_capacity, assoc=assoc, replacement=replacement,
-                  shard_id=i)
-            for i in range(self.selector.n_shards)
-        ]
+                 registry: Optional[MetricsRegistry] = None,
+                 routing: Optional[RoutingTable] = None):
+        table = (routing if routing is not None
+                 else RoutingTable.create(scheme, n_shards))
+        self._shard_capacity = shard_capacity
+        self._assoc = assoc
+        self._replacement = replacement
+        self._epoch_lock = threading.Lock()
+        self._state = _EpochState(table, self._build_shards(table.n_shards),
+                                  None, None)
         self._window: deque = deque(maxlen=telemetry_window)
         self._window_lock = threading.Lock()
-        # Registry instruments are resolved once here; with the
+        # Registry instruments are resolved per epoch; with the
         # registry disabled they are all the shared null instrument and
         # the `_observed` flag keeps the serving path free of even the
         # per-request perf_counter calls.
         self._registry = get_registry() if registry is None else registry
         self._observed = self._registry.enabled
-        scheme_name = self.selector.scheme
+        self._bind_instruments()
+
+    def _build_shards(self, n_shards: int) -> List[Shard]:
+        return [
+            Shard(self._shard_capacity, assoc=self._assoc,
+                  replacement=self._replacement, shard_id=i)
+            for i in range(n_shards)
+        ]
+
+    def _bind_instruments(self) -> None:
+        """(Re)resolve registry handles for the current epoch's scheme
+        and shard count; called at construction and on every epoch
+        swap so per-shard series always match the live fleet."""
+        state = self._state
+        scheme_name = state.table.scheme
         self._op_latency = {
             op: self._registry.histogram("store.op.latency_s",
                                          scheme=scheme_name, op=op)
@@ -126,91 +184,291 @@ class ShardedStore:
         self._shard_latency = [
             self._registry.histogram("store.shard.latency_s",
                                      scheme=scheme_name, shard=i)
-            for i in range(self.selector.n_shards)
+            for i in range(state.table.n_shards)
         ]
         self._shard_occupancy = [
             self._registry.gauge("store.shard.occupancy",
                                  scheme=scheme_name, shard=i)
-            for i in range(self.selector.n_shards)
+            for i in range(state.table.n_shards)
         ]
         self._request_counter = self._registry.counter(
             "store.requests", scheme=scheme_name)
+        self._registry.gauge("store.epoch", scheme=scheme_name).set(
+            state.table.epoch_id)
 
     # -- routing -------------------------------------------------------
 
     @property
+    def routing(self) -> RoutingTable:
+        """The current (newest) routing epoch."""
+        return self._state.table
+
+    @property
+    def selector(self) -> ShardSelector:
+        """The current epoch's selector (analysis-surface compatible)."""
+        return self._state.table.selector
+
+    @property
+    def shards(self) -> List[Shard]:
+        """The current epoch's shard fleet."""
+        return self._state.shards
+
+    @property
     def scheme(self) -> str:
-        return self.selector.scheme
+        return self._state.table.scheme
 
     @property
     def n_shards(self) -> int:
-        return self.selector.n_shards
+        return self._state.table.n_shards
+
+    @property
+    def epoch(self) -> int:
+        """The current routing epoch id (monotonic across reshards)."""
+        return self._state.table.epoch_id
+
+    @property
+    def migrating(self) -> bool:
+        """Whether an old epoch is still live behind the current one."""
+        return self._state.old_shards is not None
 
     def shard_for(self, key: StoreKey) -> int:
-        """Shard id ``key`` routes to (no access recorded)."""
-        return self.selector.shard(key)
+        """Shard id ``key`` routes to under the current epoch (no
+        access recorded)."""
+        return self._state.table.shard(key)
 
-    def _route(self, key: StoreKey) -> tuple:
-        canonical = canonical_key(key)
-        shard_id = self.selector.indexing.index(canonical)
-        with self._window_lock:
-            self._window.append(shard_id)
-        return self.shards[shard_id], canonical
-
-    def _record(self, shard: Shard, op: str, elapsed_s: float) -> None:
+    def _record(self, state: _EpochState, shard_id: int, op: str,
+                elapsed_s: float) -> None:
         """Feed one served request into the registry series."""
         self._request_counter.inc()
         self._op_latency[op].observe(elapsed_s)
-        self._shard_latency[shard.shard_id].observe(elapsed_s)
-        self._shard_occupancy[shard.shard_id].set(shard.occupancy)
+        if shard_id < len(self._shard_latency):
+            self._shard_latency[shard_id].observe(elapsed_s)
+            self._shard_occupancy[shard_id].set(
+                state.shards[shard_id].occupancy)
 
     # -- operations ----------------------------------------------------
 
-    def get(self, key: StoreKey, default: Any = None) -> Any:
-        shard, canonical = self._route(key)
-        if not self._observed:
-            return shard.get(canonical, default)
-        start = perf_counter()
-        value = shard.get(canonical, default)
-        self._record(shard, "get", perf_counter() - start)
+    def _get(self, state: _EpochState, shard_id: int,
+             canonical: int) -> Any:
+        """Dual-epoch read: new epoch first, then the old one with
+        promotion (the hit moves to the new epoch so it is never read
+        from the old fleet again)."""
+        value = state.shards[shard_id].get(canonical, _MISS)
+        if value is _MISS and state.old_shards is not None:
+            old_id = state.old_table.shard(canonical)
+            value = state.old_shards[old_id].get(canonical, _MISS)
+            if value is not _MISS:
+                state.shards[shard_id].put(canonical, value)
+                state.old_shards[old_id].delete(canonical)
         return value
+
+    def get(self, key: StoreKey, default: Any = None) -> Any:
+        state = self._state
+        canonical = canonical_key(key)
+        shard_id = state.table.shard(canonical)
+        with self._window_lock:
+            self._window.append(shard_id)
+        if not self._observed:
+            value = self._get(state, shard_id, canonical)
+            return default if value is _MISS else value
+        start = perf_counter()
+        value = self._get(state, shard_id, canonical)
+        self._record(state, shard_id, "get", perf_counter() - start)
+        return default if value is _MISS else value
+
+    def _put(self, state: _EpochState, shard_id: int, canonical: int,
+             value: Any) -> Optional[int]:
+        """Dual-epoch write: the new epoch owns the key from here on;
+        the old copy is erased so it cannot resurrect after a delete."""
+        evicted = state.shards[shard_id].put(canonical, value)
+        if state.old_shards is not None:
+            state.old_shards[state.old_table.shard(canonical)].delete(
+                canonical)
+        return evicted
 
     def put(self, key: StoreKey, value: Any) -> Optional[int]:
         """Store ``value``; returns the evicted (canonical) key, if any."""
-        shard, canonical = self._route(key)
+        state = self._state
+        canonical = canonical_key(key)
+        shard_id = state.table.shard(canonical)
+        with self._window_lock:
+            self._window.append(shard_id)
         if not self._observed:
-            return shard.put(canonical, value)
+            return self._put(state, shard_id, canonical, value)
         start = perf_counter()
-        evicted = shard.put(canonical, value)
-        self._record(shard, "put", perf_counter() - start)
+        evicted = self._put(state, shard_id, canonical, value)
+        self._record(state, shard_id, "put", perf_counter() - start)
         return evicted
 
+    def _delete(self, state: _EpochState, shard_id: int,
+                canonical: int) -> bool:
+        """Dual-epoch delete: both generations must forget the key."""
+        deleted = state.shards[shard_id].delete(canonical)
+        if state.old_shards is not None:
+            old_deleted = state.old_shards[
+                state.old_table.shard(canonical)].delete(canonical)
+            deleted = deleted or old_deleted
+        return deleted
+
     def delete(self, key: StoreKey) -> bool:
-        shard, canonical = self._route(key)
+        state = self._state
+        canonical = canonical_key(key)
+        shard_id = state.table.shard(canonical)
+        with self._window_lock:
+            self._window.append(shard_id)
         if not self._observed:
-            return shard.delete(canonical)
+            return self._delete(state, shard_id, canonical)
         start = perf_counter()
-        deleted = shard.delete(canonical)
-        self._record(shard, "delete", perf_counter() - start)
+        deleted = self._delete(state, shard_id, canonical)
+        self._record(state, shard_id, "delete", perf_counter() - start)
         return deleted
 
     def contains(self, key: StoreKey) -> bool:
+        state = self._state
         canonical = canonical_key(key)
-        return self.shards[self.selector.indexing.index(canonical)].contains(
-            canonical
-        )
+        if state.shards[state.table.shard(canonical)].contains(canonical):
+            return True
+        if state.old_shards is not None:
+            return state.old_shards[
+                state.old_table.shard(canonical)].contains(canonical)
+        return False
 
     def __len__(self) -> int:
-        return sum(shard.occupancy for shard in self.shards)
+        state = self._state
+        total = sum(shard.occupancy for shard in state.shards)
+        if state.old_shards is not None:
+            total += sum(shard.occupancy for shard in state.old_shards)
+        return total
 
     @property
     def capacity(self) -> int:
-        return sum(shard.capacity for shard in self.shards)
+        state = self._state
+        total = sum(shard.capacity for shard in state.shards)
+        if state.old_shards is not None:
+            total += sum(shard.capacity for shard in state.old_shards)
+        return total
+
+    # -- epoch management ----------------------------------------------
+
+    def begin_reshard(self, table: RoutingTable) -> RoutingTable:
+        """Install ``table`` as the new routing epoch with a fresh shard
+        fleet; the previous epoch stays readable until
+        :meth:`commit_reshard`.
+
+        Raises RuntimeError while a migration is already in flight and
+        ValueError unless ``table`` advances the epoch id.
+        """
+        with self._epoch_lock:
+            state = self._state
+            if state.old_shards is not None:
+                raise RuntimeError(
+                    "reshard already in flight; commit it before starting "
+                    "another")
+            if table.epoch_id <= state.table.epoch_id:
+                raise ValueError(
+                    f"new epoch {table.epoch_id} must advance past "
+                    f"current epoch {state.table.epoch_id}")
+            self._state = _EpochState(table, self._build_shards(
+                table.n_shards), state.table, state.shards)
+            with self._window_lock:
+                self._window.clear()
+            self._bind_instruments()
+        get_journal().emit(
+            "reshard.start",
+            epoch=table.epoch_id,
+            scheme=table.scheme,
+            n_shards=table.n_shards,
+            from_epoch=state.table.epoch_id,
+            from_scheme=state.table.scheme,
+            from_n_shards=state.table.n_shards,
+        )
+        return table
+
+    def commit_reshard(self) -> int:
+        """Retire the old epoch; returns how many keys it still held
+        (left-behind keys become cache misses — the migrator drains the
+        backlog to zero before committing)."""
+        with self._epoch_lock:
+            state = self._state
+            if state.old_shards is None:
+                raise RuntimeError("no reshard in flight")
+            left_behind = sum(s.occupancy for s in state.old_shards)
+            self._state = _EpochState(state.table, state.shards, None, None)
+        get_journal().emit(
+            "reshard.commit",
+            epoch=state.table.epoch_id,
+            scheme=state.table.scheme,
+            n_shards=state.table.n_shards,
+            left_behind=left_behind,
+        )
+        return left_behind
+
+    def migration_backlog(self) -> int:
+        """Keys still resident in the old epoch (0 when not migrating)."""
+        state = self._state
+        if state.old_shards is None:
+            return 0
+        return sum(shard.occupancy for shard in state.old_shards)
+
+    def migrate_keys(self, max_keys: int) -> int:
+        """Move up to ``max_keys`` entries from the old epoch into the
+        current one; returns how many were moved (i.e. removed from the
+        old fleet).  A key the new epoch already holds is *not*
+        overwritten — a write that raced ahead of the migrator wins —
+        but its old copy is still dropped.
+        """
+        if max_keys < 1:
+            raise ValueError(f"max_keys must be positive, got {max_keys}")
+        state = self._state
+        if state.old_shards is None:
+            return 0
+        moved = 0
+        for old_shard in state.old_shards:
+            if moved >= max_keys:
+                break
+            for canonical, value in old_shard.items():
+                if moved >= max_keys:
+                    break
+                new_shard = state.shards[state.table.shard(canonical)]
+                if not new_shard.contains(canonical):
+                    new_shard.put(canonical, value)
+                old_shard.delete(canonical)
+                moved += 1
+        return moved
+
+    def quarantine(self, shard_ids: Iterable[int]) -> RoutingTable:
+        """Route around ``shard_ids``: swap in a same-fleet successor
+        epoch whose table probes past the quarantined shards.  Keys
+        resident on them become cache misses until healed — the store
+        keeps serving throughout."""
+        with self._epoch_lock:
+            state = self._state
+            table = state.table.with_quarantined(shard_ids)
+            if table is state.table:
+                return table
+            self._state = _EpochState(table, state.shards,
+                                      state.old_table, state.old_shards)
+            self._bind_instruments()
+        return table
+
+    def heal(self, shard_ids: Optional[Iterable[int]] = None) -> RoutingTable:
+        """Lift the quarantine on ``shard_ids`` (all of them by
+        default); same-fleet successor epoch, like :meth:`quarantine`."""
+        with self._epoch_lock:
+            state = self._state
+            table = state.table.without_quarantined(shard_ids)
+            if table is state.table:
+                return table
+            self._state = _EpochState(table, state.shards,
+                                      state.old_table, state.old_shards)
+            self._bind_instruments()
+        return table
 
     # -- telemetry -----------------------------------------------------
 
     def shard_access_counts(self) -> np.ndarray:
-        """Lifetime accesses per shard (the observed histogram)."""
+        """Lifetime accesses per shard (the observed histogram; current
+        epoch only — each epoch's quality is judged on its own traffic)."""
         return np.array([shard.stats.accesses for shard in self.shards],
                         dtype=np.int64)
 
@@ -229,17 +487,19 @@ class ShardedStore:
 
     def telemetry(self) -> StoreTelemetry:
         """Snapshot every counter plus the two paper metrics."""
+        state = self._state
         counts = self.shard_access_counts()
         accesses = int(counts.sum())
-        gets = sum(s.stats.gets for s in self.shards)
-        hits = sum(s.stats.hits for s in self.shards)
-        misses = sum(s.stats.misses for s in self.shards)
-        evictions = sum(s.stats.evictions for s in self.shards)
+        gets = sum(s.stats.gets for s in state.shards)
+        hits = sum(s.stats.hits for s in state.shards)
+        misses = sum(s.stats.misses for s in state.shards)
+        evictions = sum(s.stats.evictions for s in state.shards)
         occupancy = len(self)
-        ideal_share = accesses / self.n_shards if accesses else 0.0
+        n_shards = state.table.n_shards
+        ideal_share = accesses / n_shards if accesses else 0.0
         telemetry = StoreTelemetry(
-            scheme=self.scheme,
-            n_shards=self.n_shards,
+            scheme=state.table.scheme,
+            n_shards=n_shards,
             accesses=accesses,
             gets=gets,
             hits=hits,
@@ -251,6 +511,7 @@ class ShardedStore:
             balance=self.balance(),
             concentration=self.concentration(),
             tail_load=float(counts.max() / ideal_share) if ideal_share else 0.0,
+            epoch=state.table.epoch_id,
             shard_accesses=counts.tolist(),
         )
         if self._observed:
@@ -261,7 +522,7 @@ class ShardedStore:
         """Mirror one snapshot onto the registry as labeled gauges —
         the continuous-observation form of the inline Eq. 1 / Eq. 2
         numbers (each snapshot updates the series in place)."""
-        labels = {"scheme": self.scheme}
+        labels = {"scheme": telemetry.scheme}
         for name, value in (
             ("store.balance", telemetry.balance),
             ("store.concentration", telemetry.concentration),
@@ -273,6 +534,7 @@ class ShardedStore:
             self._registry.gauge(name, **labels).set(value)
 
     def __repr__(self) -> str:
+        migrating = ", migrating" if self.migrating else ""
         return (f"ShardedStore(scheme={self.scheme!r}, "
-                f"n_shards={self.n_shards}, occupancy={len(self)}/"
-                f"{self.capacity})")
+                f"n_shards={self.n_shards}, epoch={self.epoch}, "
+                f"occupancy={len(self)}/{self.capacity}{migrating})")

@@ -1,0 +1,136 @@
+"""Incremental key migration between routing epochs.
+
+A :class:`Migrator` drains a :class:`~repro.store.engine.ShardedStore`'s
+old epoch into the current one in bounded chunks while the store keeps
+serving.  Each :meth:`Migrator.step` moves at most ``budget`` keys — the
+in-flight move budget the reshard contract promises — and emits one
+``reshard.migrate_chunk`` journal event, so an operator (or the
+remediation controller's post-mortem) can replay exactly how the
+migration progressed.  :meth:`Migrator.run` loops steps until the
+backlog is empty, then commits the reshard, retiring the old fleet.
+
+The migrator never overwrites a key the new epoch already holds: a
+write that landed after :meth:`~repro.store.engine.ShardedStore.
+begin_reshard` is newer than any old-epoch copy, so the racing copy is
+dropped rather than moved (see
+:meth:`~repro.store.engine.ShardedStore.migrate_keys`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.obs import MetricsRegistry, get_journal, get_registry
+from repro.store.engine import ShardedStore
+
+#: Default per-chunk move budget.
+DEFAULT_MOVE_BUDGET = 64
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one full :meth:`Migrator.run`."""
+
+    epoch: int  #: epoch migrated *into*
+    scheme: str
+    moved: int  #: keys moved out of the old epoch
+    chunks: int  #: migrate_chunk steps taken
+    peak_in_flight: int  #: largest single-chunk move count observed
+    budget: int
+    left_behind: int  #: keys the commit retired unmigrated (0 on success)
+    chunk_sizes: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "scheme": self.scheme,
+            "moved": self.moved,
+            "chunks": self.chunks,
+            "peak_in_flight": self.peak_in_flight,
+            "budget": self.budget,
+            "left_behind": self.left_behind,
+            "chunk_sizes": list(self.chunk_sizes),
+        }
+
+
+class Migrator:
+    """Bounded-budget incremental migrator for one store's reshard.
+
+    Args:
+        store: the store whose in-flight reshard to drain.
+        budget: max keys moved per :meth:`step` — the in-flight bound.
+        registry: metrics registry (process-global by default); moved
+            keys count into the ``store.migrated_keys`` counter.
+    """
+
+    def __init__(self, store: ShardedStore,
+                 budget: int = DEFAULT_MOVE_BUDGET,
+                 registry: Optional[MetricsRegistry] = None):
+        if budget < 1:
+            raise ValueError(f"budget must be positive, got {budget}")
+        self.store = store
+        self.budget = budget
+        self.moved = 0
+        self.chunks = 0
+        self.peak_in_flight = 0
+        self.chunk_sizes: List[int] = []
+        self._registry = get_registry() if registry is None else registry
+
+    def step(self) -> int:
+        """Move one chunk (≤ ``budget`` keys); returns the move count.
+
+        A no-op (returning 0) when the store is not migrating or the
+        backlog is already empty.
+        """
+        if not self.store.migrating:
+            return 0
+        moved = self.store.migrate_keys(self.budget)
+        if moved == 0:
+            return 0
+        self.moved += moved
+        self.chunks += 1
+        self.peak_in_flight = max(self.peak_in_flight, moved)
+        self.chunk_sizes.append(moved)
+        self._registry.counter("store.migrated_keys",
+                               scheme=self.store.scheme).inc(moved)
+        get_journal().emit(
+            "reshard.migrate_chunk",
+            epoch=self.store.epoch,
+            scheme=self.store.scheme,
+            moved=moved,
+            total_moved=self.moved,
+            remaining=self.store.migration_backlog(),
+            budget=self.budget,
+        )
+        return moved
+
+    def run(self, max_chunks: Optional[int] = None) -> MigrationReport:
+        """Drain the backlog chunk by chunk, then commit the reshard.
+
+        ``max_chunks`` bounds the loop for tests; when it is hit with
+        backlog remaining, the reshard is committed anyway and the
+        leftovers are reported (they become cache misses).
+        """
+        if not self.store.migrating:
+            raise RuntimeError("store has no reshard in flight")
+        while self.store.migration_backlog() > 0:
+            if max_chunks is not None and self.chunks >= max_chunks:
+                break
+            self.step()
+        left_behind = self.store.commit_reshard()
+        return MigrationReport(
+            epoch=self.store.epoch,
+            scheme=self.store.scheme,
+            moved=self.moved,
+            chunks=self.chunks,
+            peak_in_flight=self.peak_in_flight,
+            budget=self.budget,
+            left_behind=left_behind,
+            chunk_sizes=list(self.chunk_sizes),
+        )
+
+    def __repr__(self) -> str:
+        return (f"Migrator(budget={self.budget}, moved={self.moved}, "
+                f"chunks={self.chunks}, backlog="
+                f"{self.store.migration_backlog()})")

@@ -1,0 +1,262 @@
+"""Epoch-versioned routing tables and the prime shard-count ladder.
+
+A :class:`RoutingTable` is one *immutable* generation of the key→shard
+mapping: ``(scheme, n_shards, epoch_id)`` plus the set of quarantined
+shards routed around.  Mutating the mapping — resizing along the prime
+ladder, swapping schemes, quarantining a stalled shard — never edits a
+table; it derives a successor with ``epoch_id + 1``.  That versioning is
+what makes online resharding safe: a :class:`~repro.store.engine.
+ShardedStore` can hold the *new* table next to the *old* one during
+migration (reads consult new-then-old, writes land on the new epoch),
+and the serving layer can detect "the routing I bound my batch queues
+to is stale" with one integer comparison.
+
+The **ladder** functions keep resizes on the shard counts the paper's
+argument needs: ``pmod`` moves prime→prime through
+:func:`repro.mathutil.next_prime` / :func:`repro.mathutil.prev_prime`
+(61 → 67 → 71 ...), while the bit-mask schemes (traditional, XOR,
+pDisp) move power-of-two→power-of-two — each scheme grows along the
+count geometry its index math requires.
+
+Quarantined shards are re-routed deterministically: a key whose primary
+shard is quarantined walks ``(primary + 1, primary + 2, ...) mod
+n_shards`` to the first healthy shard, so re-routing is stable across
+processes and cheap to vectorize (quarantine is the rare case; the fast
+path is untouched while the quarantine set is empty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Iterable, List
+
+import numpy as np
+
+from repro.mathutil import is_power_of_two, next_prime, prev_prime
+from repro.store.selector import (
+    STORE_SCHEMES,
+    ShardSelector,
+    StoreKey,
+    make_selector_exact,
+)
+
+__all__ = [
+    "RoutingTable",
+    "ladder_down",
+    "ladder_up",
+    "normalize_shard_count",
+    "prime_capable",
+]
+
+
+def prime_capable(scheme: str) -> bool:
+    """Whether ``scheme`` routes over arbitrary prime shard counts.
+
+    ``pmod`` is a plain modulo, so any prime works; the other schemes
+    mask/XOR index bits and need a power of two.
+    """
+    return scheme == "pmod"
+
+
+def normalize_shard_count(scheme: str, n_shards: int) -> int:
+    """Snap ``n_shards`` onto ``scheme``'s ladder (never downward).
+
+    Prime-capable schemes get the smallest prime >= the request;
+    power-of-two schemes the smallest covering power of two.  A count
+    already on the ladder passes through unchanged.
+    """
+    if n_shards < 2:
+        raise ValueError(f"need at least 2 shards, got {n_shards}")
+    if prime_capable(scheme):
+        from repro.mathutil import is_prime
+
+        return n_shards if is_prime(n_shards) else next_prime(n_shards)
+    if is_power_of_two(n_shards):
+        return n_shards
+    return 1 << n_shards.bit_length()
+
+
+def ladder_up(scheme: str, n_shards: int) -> int:
+    """The next rung above ``n_shards`` on ``scheme``'s ladder."""
+    if prime_capable(scheme):
+        return next_prime(n_shards)
+    return max(2, 1 << n_shards.bit_length())
+
+
+def ladder_down(scheme: str, n_shards: int) -> int:
+    """The rung below ``n_shards``; raises ValueError at the bottom."""
+    if prime_capable(scheme):
+        down = prev_prime(n_shards)
+        if down < 2:  # pragma: no cover - prev_prime never returns < 2
+            raise ValueError(f"no ladder rung below {n_shards}")
+        return down
+    if n_shards <= 2:
+        raise ValueError(f"no ladder rung below {n_shards} shards")
+    return 1 << (n_shards - 1).bit_length() - 1
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """One immutable epoch of key→shard routing.
+
+    Attributes:
+        scheme: shard-selection scheme key (:data:`~repro.store.
+            selector.STORE_SCHEMES`).
+        epoch_id: monotonically increasing generation number; every
+            derived table (resize, scheme swap, quarantine change)
+            increments it.
+        selector: the wrapped :class:`ShardSelector` doing the hashing.
+        quarantined: shard ids routed *around* — keys whose primary
+            shard is quarantined probe linearly to the next healthy
+            shard.
+    """
+
+    scheme: str
+    epoch_id: int
+    selector: ShardSelector
+    quarantined: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if self.epoch_id < 0:
+            raise ValueError("epoch_id must be >= 0")
+        bad = [s for s in self.quarantined
+               if not 0 <= s < self.n_shards]
+        if bad:
+            raise ValueError(
+                f"quarantined shards {sorted(bad)} outside "
+                f"[0, {self.n_shards})")
+        if len(self.quarantined) >= self.n_shards:
+            raise ValueError("cannot quarantine every shard")
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(cls, scheme: str, n_shards: int,
+               epoch_id: int = 0) -> "RoutingTable":
+        """Epoch-``epoch_id`` table for ``scheme`` over ``n_shards``.
+
+        Power-of-two counts go through :func:`~repro.store.selector.
+        make_selector` semantics (``pmod`` uses the largest prime
+        below, the paper's construction); prime counts are honored
+        exactly for prime-capable schemes.
+        """
+        if scheme not in STORE_SCHEMES:
+            known = ", ".join(sorted(STORE_SCHEMES))
+            raise KeyError(
+                f"unknown store scheme {scheme!r}; known: {known}")
+        selector = make_selector_exact(scheme, n_shards)
+        return cls(scheme=scheme, epoch_id=epoch_id, selector=selector)
+
+    # -- derivation (always a new epoch) --------------------------------
+
+    def resized(self, n_shards: int) -> "RoutingTable":
+        """Successor table over ``n_shards`` (quarantine cleared: the
+        new epoch gets a fresh shard fleet)."""
+        selector = make_selector_exact(self.scheme, n_shards)
+        return RoutingTable(scheme=self.scheme, epoch_id=self.epoch_id + 1,
+                            selector=selector)
+
+    def reschemed(self, scheme: str, n_shards: int = None) -> "RoutingTable":
+        """Successor table under a different scheme (same target count
+        unless overridden; the count is re-normalized onto the new
+        scheme's ladder)."""
+        if scheme not in STORE_SCHEMES:
+            known = ", ".join(sorted(STORE_SCHEMES))
+            raise KeyError(
+                f"unknown store scheme {scheme!r}; known: {known}")
+        target = normalize_shard_count(
+            scheme, n_shards if n_shards is not None else self.n_shards)
+        selector = make_selector_exact(scheme, target)
+        return RoutingTable(scheme=scheme, epoch_id=self.epoch_id + 1,
+                            selector=selector)
+
+    def with_quarantined(self, shard_ids: Iterable[int]) -> "RoutingTable":
+        """Successor table with ``shard_ids`` added to the quarantine
+        set (same selector — quarantine re-routes, it does not rehash)."""
+        merged = frozenset(self.quarantined) | frozenset(
+            int(s) for s in shard_ids)
+        if merged == self.quarantined:
+            return self
+        return replace(self, epoch_id=self.epoch_id + 1, quarantined=merged)
+
+    def without_quarantined(self,
+                            shard_ids: Iterable[int] = None) -> "RoutingTable":
+        """Successor table healing some (default: all) quarantined
+        shards."""
+        if shard_ids is None:
+            healed: FrozenSet[int] = frozenset()
+        else:
+            healed = frozenset(self.quarantined) - frozenset(
+                int(s) for s in shard_ids)
+        if healed == self.quarantined:
+            return self
+        return replace(self, epoch_id=self.epoch_id + 1, quarantined=healed)
+
+    def grown(self) -> "RoutingTable":
+        """Successor one ladder rung up (prime ladder for pmod)."""
+        return self.resized(ladder_up(self.scheme, self.n_shards))
+
+    def shrunk(self) -> "RoutingTable":
+        """Successor one ladder rung down."""
+        return self.resized(ladder_down(self.scheme, self.n_shards))
+
+    # -- routing --------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.selector.n_shards
+
+    @property
+    def n_shards_physical(self) -> int:
+        return self.selector.n_shards_physical
+
+    def _reroute(self, primary: int) -> int:
+        """First healthy shard on the probe walk from ``primary``."""
+        shard = primary
+        for _ in range(self.n_shards):
+            if shard not in self.quarantined:
+                return shard
+            shard = (shard + 1) % self.n_shards
+        raise RuntimeError(  # pragma: no cover - guarded in __post_init__
+            "all shards quarantined")
+
+    def shard(self, key: StoreKey) -> int:
+        """Shard id ``key`` routes to under this epoch."""
+        primary = self.selector.shard(key)
+        if not self.quarantined:
+            return primary
+        return self._reroute(primary)
+
+    def shard_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized routing; quarantine fixup applies only to the
+        (rare) keys whose primary shard is quarantined."""
+        primaries = self.selector.shard_array(keys)
+        if not self.quarantined:
+            return primaries
+        out = primaries.copy()
+        hit = np.isin(out, np.fromiter(self.quarantined, dtype=np.int64))
+        for i in np.flatnonzero(hit):
+            out[i] = self._reroute(int(out[i]))
+        return out
+
+    def healthy_shards(self) -> List[int]:
+        """Shard ids currently receiving traffic."""
+        return [s for s in range(self.n_shards)
+                if s not in self.quarantined]
+
+    def describe(self) -> dict:
+        """JSON-friendly summary (journal / artifact payloads)."""
+        return {
+            "scheme": self.scheme,
+            "epoch_id": self.epoch_id,
+            "n_shards": self.n_shards,
+            "n_shards_physical": self.n_shards_physical,
+            "quarantined": sorted(self.quarantined),
+        }
+
+    def __repr__(self) -> str:
+        quarantine = (f", quarantined={sorted(self.quarantined)}"
+                      if self.quarantined else "")
+        return (f"RoutingTable(scheme={self.scheme!r}, "
+                f"epoch={self.epoch_id}, n_shards={self.n_shards}"
+                f"{quarantine})")

@@ -37,6 +37,7 @@ from repro.hashing import (
     TraditionalIndexing,
     XorIndexing,
 )
+from repro.mathutil import is_power_of_two, is_prime
 
 #: Keys a store accepts.
 StoreKey = Union[int, str, bytes]
@@ -150,6 +151,37 @@ def make_selector(scheme: str, n_shards_physical: int) -> ShardSelector:
         known = ", ".join(sorted(STORE_SCHEMES))
         raise KeyError(f"unknown store scheme {scheme!r}; known: {known}") from None
     return ShardSelector(factory(n_shards_physical), scheme=scheme)
+
+
+def make_selector_exact(scheme: str, n_shards: int) -> ShardSelector:
+    """Build a selector whose *usable* shard count is exactly ``n_shards``.
+
+    This is the construction path for runtime resizes along the prime
+    ladder: ``pmod`` accepts any prime count directly (61, 67, 127, ...)
+    by pairing it with the smallest covering power-of-two physical count,
+    so ``next_prime``/``prev_prime`` moves land on exactly the requested
+    shard count.  Every other scheme — and ``pmod`` given a power of two,
+    which keeps :func:`make_selector`'s classic largest-prime-below
+    behavior — requires a power-of-two count, because their index math is
+    bit-mask based.
+    """
+    if n_shards < 2:
+        raise ValueError(f"need at least 2 shards, got {n_shards}")
+    if scheme == "pmod" and not is_power_of_two(n_shards):
+        if not is_prime(n_shards):
+            raise ValueError(
+                f"pmod shard count must be prime (or a power of two for "
+                f"the largest-prime-below fallback), got {n_shards}"
+            )
+        physical = 1 << n_shards.bit_length()
+        return ShardSelector(
+            PrimeModuloIndexing(physical, n_sets=n_shards), scheme="pmod")
+    if not is_power_of_two(n_shards):
+        raise ValueError(
+            f"scheme {scheme!r} needs a power-of-two shard count, "
+            f"got {n_shards}"
+        )
+    return make_selector(scheme, n_shards)
 
 
 def available_selectors() -> List[str]:

@@ -44,13 +44,18 @@ class TestChecksLogic:
             drift={"traditional": {"ok": False}, "pmod": {"ok": True},
                    "pdisp": {"ok": True}},
             chain={"serve.fault.stall": 0, "serve.timeout": 2,
-                   "health.alert_fired": 9},
+                   "health.alert_fired": 9, "control.quarantine": 11},
+            remediation={
+                "actions": [{"kind": "quarantine"}],
+                "post_alerts": [{"window": "slow",
+                                 "slo": "serve-p99-latency"}],
+            },
         )
 
     def test_all_hold_on_the_contract_scenario(self):
         checks = health.health_checks(**self.base())
         assert all(checks.values())
-        assert len(checks) == 7
+        assert len(checks) == 10
 
     def test_noisy_healthy_phase_fails(self):
         kwargs = self.base()
@@ -76,6 +81,24 @@ class TestChecksLogic:
         kwargs["drift"]["pmod"]["ok"] = False
         assert not health.health_checks(**kwargs)["pmod_within_band"]
 
+    def test_missing_quarantine_action_fails_the_loop_check(self):
+        kwargs = self.base()
+        kwargs["remediation"]["actions"] = [{"kind": "grow"}]
+        assert not health.health_checks(**kwargs)["controller_quarantines"]
+
+    def test_quarantine_must_follow_the_page(self):
+        kwargs = self.base()
+        kwargs["chain"]["control.quarantine"] = 4  # before the alert
+        assert not health.health_checks(**kwargs)["quarantine_follows_page"]
+        kwargs["chain"]["control.quarantine"] = None
+        assert not health.health_checks(**kwargs)["quarantine_follows_page"]
+
+    def test_lingering_fast_page_fails_recovery(self):
+        kwargs = self.base()
+        kwargs["remediation"]["post_alerts"] = [
+            {"window": "fast", "slo": "serve-p99-latency"}]
+        assert not health.health_checks(**kwargs)["fast_page_resolved"]
+
 
 class TestDriftDrill:
     def test_figure5_ordering_on_strided_traffic(self):
@@ -96,12 +119,14 @@ class TestRun:
 
     def test_artifact_shape_and_serializability(self, artifact_data):
         for key in ("p99_target_s", "healthy", "stalled", "alerts",
-                    "drift", "journal", "checks"):
+                    "drift", "journal", "checks", "remediation",
+                    "recovery"):
             assert key in artifact_data
         assert json.loads(json.dumps(artifact_data)) == artifact_data
         chain = artifact_data["journal"]["chain"]
         assert (chain["serve.fault.stall"] < chain["serve.timeout"]
-                < chain["health.alert_fired"])
+                < chain["health.alert_fired"]
+                < chain["control.quarantine"])
 
     def test_run_restores_global_observability_state(self, artifact_data):
         # The module fixture ran with globals disabled; run() must have
@@ -115,7 +140,8 @@ class TestRun:
         assert "SLO burn rates" in text
         assert "Hash-quality drift" in text
         assert "journal chain (seq):" in text
-        assert "Health contract: ok (7/7 checks hold)" in text
+        assert "Health contract: ok (10/10 checks hold)" in text
+        assert "remediation: actions=['quarantine']" in text
         assert "TRIPPED" in text  # traditional's row
 
 

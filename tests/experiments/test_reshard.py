@@ -1,0 +1,101 @@
+"""The reshard experiment: contract checks, registration, render."""
+
+import copy
+import json
+
+import pytest
+
+from repro.engine import all_experiment_names, get_experiment
+from repro.experiments import reshard
+
+
+@pytest.fixture(scope="module")
+def cells():
+    """One small sweep shared by the assertions (3000 requests keeps
+    the migration phase real — ~40 bounded chunks — but fast)."""
+    return reshard.run(n_requests=3000, seed=0)
+
+
+class TestLadderGeometry:
+    def test_pmod_hops_prime_to_prime(self, cells):
+        cell = cells["pmod"]
+        assert (cell["from_n_shards"], cell["to_n_shards"]) == (61, 67)
+
+    def test_pow2_schemes_double(self, cells):
+        for scheme in ("traditional", "xor", "pdisp"):
+            cell = cells[scheme]
+            assert (cell["from_n_shards"], cell["to_n_shards"]) == (64, 128)
+
+    def test_every_scheme_advances_one_epoch(self, cells):
+        assert all(cell["epoch"] == 1 for cell in cells.values())
+
+
+class TestContract:
+    def test_all_checks_hold(self, cells):
+        checks = reshard.reshard_checks(cells)
+        assert all(checks.values()), [k for k, v in checks.items() if not v]
+        assert len(checks) == 18  # 4 per scheme + 2 ordering
+
+    def test_zero_key_loss_is_exact(self, cells):
+        for scheme, cell in cells.items():
+            assert cell["zero_loss"]["missing"] == 0, scheme
+            assert cell["zero_loss"]["mismatched"] == 0, scheme
+            assert cell["zero_loss"]["model_size"] > 0, scheme
+
+    def test_migration_respects_the_budget(self, cells):
+        for cell in cells.values():
+            migration = cell["migration"]
+            assert migration["peak_in_flight"] <= migration["budget"]
+            assert migration["left_behind"] == 0
+            assert max(migration["chunk_sizes"]) <= migration["budget"]
+
+    def test_figure5_ordering_survives_the_resize(self, cells):
+        base = cells["traditional"]["strided_balance_after"]
+        assert cells["pmod"]["strided_balance_after"] < base
+        assert cells["pdisp"]["strided_balance_after"] < base
+
+    def test_payload_is_json_serializable(self, cells):
+        assert json.loads(json.dumps(cells)) == cells
+
+
+class TestChecksLogic:
+    def test_a_lost_key_flips_its_check(self, cells):
+        tampered = copy.deepcopy(cells)
+        tampered["pmod"]["zero_loss"]["missing"] = 3
+        checks = reshard.reshard_checks(tampered)
+        assert not checks["pmod_zero_key_loss"]
+        assert checks["xor_zero_key_loss"]
+
+    def test_a_budget_breach_flips_its_check(self, cells):
+        tampered = copy.deepcopy(cells)
+        tampered["xor"]["migration"]["peak_in_flight"] = 10**6
+        assert not reshard.reshard_checks(tampered)[
+            "xor_in_flight_under_budget"]
+
+    def test_ordering_regression_flips_its_check(self, cells):
+        tampered = copy.deepcopy(cells)
+        tampered["pdisp"]["strided_balance_after"] = 10**6
+        assert not reshard.reshard_checks(tampered)[
+            "pdisp_beats_traditional_after_reshard"]
+
+
+class TestRender:
+    def test_render_surfaces_the_verdict(self, cells):
+        data = {
+            "n_requests": 3000,
+            "budget": 64,
+            "cells": cells,
+            "checks": reshard.reshard_checks(cells),
+        }
+        text = reshard.render(data)
+        assert "Online reshard" in text
+        assert "61->67" in text
+        assert "Reshard contract: ok (18/18 checks hold" in text
+
+
+class TestRegistration:
+    def test_reshard_is_a_registered_experiment(self):
+        assert "reshard" in all_experiment_names()
+        spec = get_experiment("reshard")
+        assert spec.uses_simulation is False
+        assert spec.render is not None

@@ -12,6 +12,10 @@ from repro.mathutil import (
     prev_prime,
     primes_below,
 )
+from repro.mathutil.primes import (
+    LADDER_INPUT_BOUND,
+    MILLER_RABIN_DETERMINISTIC_BOUND,
+)
 
 
 class TestIsPrime:
@@ -57,9 +61,15 @@ class TestPrevNextPrime:
     def test_prev_prime_of_prime_is_strictly_below(self):
         assert prev_prime(7) == 5
 
-    def test_prev_prime_error_below_three(self):
-        with pytest.raises(ValueError):
-            prev_prime(2)
+    @pytest.mark.parametrize("n", [2, 1, 0, -10])
+    def test_prev_prime_error_at_or_below_two(self, n):
+        """There is no prime below 3's predecessor — including zero and
+        negative inputs, which a buggy ladder walk could produce."""
+        with pytest.raises(ValueError, match="no prime below"):
+            prev_prime(n)
+
+    def test_prev_prime_smallest_valid_input(self):
+        assert prev_prime(3) == 2
 
     def test_next_prime_basic(self):
         assert next_prime(1) == 2
@@ -73,6 +83,39 @@ class TestPrevNextPrime:
         assert is_prime(p)
         assert p < n
         assert all(not is_prime(q) for q in range(p + 1, n))
+
+
+class TestLadderBounds:
+    """The ladder functions refuse inputs they cannot certify.
+
+    Shard and set counts are 64-bit everywhere in this codebase; past
+    2**64 the fixed Miller-Rabin witness set stops being a proof, so
+    the ladder raises loudly instead of returning an unproven "prime".
+    """
+
+    def test_next_prime_at_the_bound_is_exact(self):
+        # 2**64 itself is accepted; the next prime above it is known.
+        assert next_prime(LADDER_INPUT_BOUND) == 2**64 + 13
+
+    def test_prev_prime_at_the_bound_is_exact(self):
+        assert prev_prime(LADDER_INPUT_BOUND) == 2**64 - 59
+
+    def test_next_prime_beyond_the_bound_raises(self):
+        with pytest.raises(ValueError, match="input bound"):
+            next_prime(LADDER_INPUT_BOUND + 1)
+
+    def test_prev_prime_beyond_the_bound_raises(self):
+        with pytest.raises(ValueError, match="input bound"):
+            prev_prime(LADDER_INPUT_BOUND + 1)
+
+    def test_is_prime_beyond_deterministic_bound_raises(self):
+        with pytest.raises(ValueError, match="Miller-Rabin"):
+            is_prime(MILLER_RABIN_DETERMINISTIC_BOUND)
+
+    def test_is_prime_just_below_deterministic_bound_answers(self):
+        # The last certifiable integer still gets a verdict, not an
+        # error (it is composite: divisible by 3).
+        assert is_prime(MILLER_RABIN_DETERMINISTIC_BOUND - 1) is False
 
 
 class TestLargestPrimeBelow:

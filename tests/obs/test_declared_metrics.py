@@ -1,6 +1,7 @@
 """Pre-declared metric schema: stable snapshots before first traffic."""
 
 from repro.obs import (
+    CONTROL_METRICS,
     CORE_COUNTERS,
     HEALTH_METRICS,
     JOURNAL_METRICS,
@@ -15,7 +16,7 @@ from repro.obs import (
 #: Every declared layer's name -> kind mapping, in one place so the
 #: parity tests below cover new layers automatically.
 DECLARED_LAYERS = (STORE_METRICS, SERVE_METRICS, JOURNAL_METRICS,
-                   HEALTH_METRICS)
+                   HEALTH_METRICS, CONTROL_METRICS)
 
 
 class TestDeclaredSchema:
@@ -71,6 +72,40 @@ class TestDeclaredSchema:
         assert cold == declared
         # Warm adds only *labeled* variants of declared names, never a
         # journal./health. name that was not declared cold.
+        assert warm == declared
+
+    def test_control_declaration_parity_with_emitting_code(self):
+        """Every ``control.*`` series the remediation controller emits
+        is pre-declared, and vice versa: a cold snapshot and a snapshot
+        taken after a full observe -> decide -> apply step (including a
+        quarantine) expose exactly the declared control names."""
+        from repro.control import Action, RemediationController
+        from repro.obs import Journal, set_journal
+        from repro.obs.health import SloEngine, default_slos
+        from repro.store import ShardedStore
+
+        registry, _ = enable_observability()
+        cold = {name for name in _names(registry)
+                if name.startswith("control.")}
+
+        journal = Journal()
+        set_journal(journal)
+        store = ShardedStore(n_shards=8, scheme="pmod", shard_capacity=64,
+                             registry=registry)
+        controller = RemediationController(
+            store, SloEngine(default_slos(), registry=registry,
+                             journal=journal),
+            journal=journal, registry=registry)
+        controller.step()  # healthy: evaluates, decides nothing
+        controller.apply(Action(kind="quarantine", reason="parity probe",
+                                detail={"shards": [1]}))
+
+        warm = {name for name in _names(registry)
+                if name.startswith("control.")}
+        declared = set(CONTROL_METRICS)
+        assert cold == declared
+        # The controller's counters are all unlabeled, so even a warm
+        # registry exposes exactly the declared set — no more, no less.
         assert warm == declared
 
     def test_declared_series_start_at_zero(self):

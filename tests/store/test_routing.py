@@ -1,0 +1,153 @@
+"""RoutingTable: epochs, the prime ladder, quarantine re-routing."""
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    RoutingTable,
+    ladder_down,
+    ladder_up,
+    normalize_shard_count,
+    prime_capable,
+)
+
+
+class TestLadder:
+    def test_prime_capability(self):
+        assert prime_capable("pmod")
+        for scheme in ("traditional", "xor", "pdisp"):
+            assert not prime_capable(scheme)
+
+    def test_pmod_climbs_prime_to_prime(self):
+        assert ladder_up("pmod", 61) == 67
+        assert ladder_up("pmod", 67) == 71
+        assert ladder_down("pmod", 67) == 61
+        assert ladder_down("pmod", 61) == 59
+
+    def test_pow2_schemes_double_and_halve(self):
+        assert ladder_up("traditional", 64) == 128
+        assert ladder_up("xor", 64) == 128
+        assert ladder_down("pdisp", 64) == 32
+
+    def test_ladder_bottom_raises(self):
+        with pytest.raises(ValueError):
+            ladder_down("traditional", 2)
+        with pytest.raises(ValueError):
+            ladder_down("pmod", 2)
+
+    def test_normalize_snaps_upward_onto_the_ladder(self):
+        assert normalize_shard_count("pmod", 61) == 61
+        assert normalize_shard_count("pmod", 62) == 67
+        assert normalize_shard_count("xor", 64) == 64
+        assert normalize_shard_count("xor", 65) == 128
+        with pytest.raises(ValueError):
+            normalize_shard_count("pmod", 1)
+
+
+class TestConstruction:
+    def test_pow2_count_keeps_classic_pmod_semantics(self):
+        # The paper's construction: 64 physical shards, largest prime
+        # below (61) usable — Table 1's fragmentation, unchanged.
+        table = RoutingTable.create("pmod", 64)
+        assert table.n_shards == 61
+        assert table.n_shards_physical == 64
+
+    def test_exact_prime_count_is_honored(self):
+        table = RoutingTable.create("pmod", 67)
+        assert table.n_shards == 67
+        assert table.epoch_id == 0
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError, match="unknown store scheme"):
+            RoutingTable.create("nope", 64)
+
+    def test_tables_are_immutable(self):
+        table = RoutingTable.create("xor", 64)
+        with pytest.raises(AttributeError):
+            table.epoch_id = 5
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError, match="epoch_id"):
+            RoutingTable.create("xor", 64, epoch_id=-1)
+
+
+class TestDerivation:
+    def test_every_derivation_bumps_the_epoch(self):
+        table = RoutingTable.create("pmod", 61)
+        assert table.grown().epoch_id == 1
+        assert table.reschemed("xor").epoch_id == 1
+        assert table.with_quarantined([3]).epoch_id == 1
+        # The original is untouched.
+        assert table.epoch_id == 0
+
+    def test_grown_walks_the_prime_ladder(self):
+        table = RoutingTable.create("pmod", 61)
+        grown = table.grown()
+        assert grown.n_shards == 67
+        assert grown.shrunk().n_shards == 61
+
+    def test_reschemed_renormalizes_the_count(self):
+        # pmod@61 -> xor must land on a power of two (64), not 61.
+        table = RoutingTable.create("pmod", 61)
+        swapped = table.reschemed("xor")
+        assert swapped.scheme == "xor"
+        assert swapped.n_shards == 64
+
+    def test_resize_clears_quarantine(self):
+        table = RoutingTable.create("pmod", 61).with_quarantined([1, 2])
+        assert table.grown().quarantined == frozenset()
+
+    def test_quarantine_noop_returns_self(self):
+        table = RoutingTable.create("xor", 64).with_quarantined([5])
+        assert table.with_quarantined([5]) is table
+        assert table.without_quarantined([9]) is table
+
+    def test_without_quarantined_heals(self):
+        table = RoutingTable.create("xor", 64).with_quarantined([5, 6])
+        healed = table.without_quarantined([5])
+        assert healed.quarantined == frozenset([6])
+        assert table.without_quarantined().quarantined == frozenset()
+
+    def test_quarantine_validation(self):
+        table = RoutingTable.create("xor", 4)
+        with pytest.raises(ValueError, match="outside"):
+            table.with_quarantined([99])
+        with pytest.raises(ValueError, match="every shard"):
+            table.with_quarantined([0, 1, 2, 3])
+
+
+class TestQuarantineRouting:
+    def test_quarantined_shard_receives_no_traffic(self):
+        table = RoutingTable.create("pmod", 61).with_quarantined([7, 8])
+        shards = {table.shard(k) for k in range(5000)}
+        assert 7 not in shards and 8 not in shards
+        assert shards <= set(table.healthy_shards())
+
+    def test_reroute_is_the_next_healthy_shard(self):
+        table = RoutingTable.create("traditional", 8).with_quarantined([3])
+        # key 3 routes to shard 3 under traditional; probe lands on 4.
+        assert table.shard(3) == 4
+
+    def test_scalar_and_vector_agree_under_quarantine(self):
+        table = RoutingTable.create("pmod", 61).with_quarantined([0, 13])
+        keys = np.arange(10000, dtype=np.uint64) * 7
+        vec = table.shard_array(keys)
+        assert vec.tolist() == [table.shard(int(k)) for k in keys]
+
+    def test_empty_quarantine_fast_path_matches_selector(self):
+        table = RoutingTable.create("xor", 64)
+        keys = np.arange(4096, dtype=np.uint64)
+        assert np.array_equal(table.shard_array(keys),
+                              table.selector.shard_array(keys))
+
+
+class TestDescribe:
+    def test_json_friendly_summary(self):
+        table = RoutingTable.create("pmod", 67).with_quarantined([2])
+        assert table.describe() == {
+            "scheme": "pmod",
+            "epoch_id": 1,
+            "n_shards": 67,
+            "n_shards_physical": 128,
+            "quarantined": [2],
+        }

@@ -5,7 +5,12 @@ import pytest
 
 from repro.hashing import balance, strided_addresses
 from repro.mathutil import largest_prime_below
-from repro.store import ShardSelector, available_selectors, make_selector
+from repro.store import (
+    ShardSelector,
+    available_selectors,
+    make_selector,
+    make_selector_exact,
+)
 from repro.store.selector import canonical_key
 
 
@@ -71,6 +76,30 @@ class TestRouting:
         selector = make_selector(scheme, 64)
         rng = np.random.default_rng(11)
         keys = rng.integers(0, 2**48, size=2048, dtype=np.uint64)
+        vec = selector.shard_array(keys)
+        assert vec.tolist() == [selector.shard(int(k)) for k in keys]
+
+    @pytest.mark.parametrize("scheme", available_selectors())
+    @pytest.mark.parametrize("n_shards", [16, 32, 128, 256])
+    def test_shard_array_matches_scalar_across_pow2_counts(
+            self, scheme, n_shards):
+        """The scalar/vectorized agreement is fleet-size independent on
+        the power-of-two rungs every scheme supports."""
+        selector = make_selector(scheme, n_shards)
+        rng = np.random.default_rng(n_shards)
+        keys = rng.integers(0, 2**48, size=1024, dtype=np.uint64)
+        vec = selector.shard_array(keys)
+        assert vec.tolist() == [selector.shard(int(k)) for k in keys]
+
+    @pytest.mark.parametrize("n_shards", [61, 67, 127, 251])
+    def test_shard_array_matches_scalar_on_exact_prime_counts(
+            self, n_shards):
+        """pMod on the epoch ladder's exact prime rungs: the vectorized
+        router and the scalar one agree key for key."""
+        selector = make_selector_exact("pmod", n_shards)
+        assert selector.n_shards == n_shards
+        rng = np.random.default_rng(n_shards)
+        keys = rng.integers(0, 2**48, size=1024, dtype=np.uint64)
         vec = selector.shard_array(keys)
         assert vec.tolist() == [selector.shard(int(k)) for k in keys]
 

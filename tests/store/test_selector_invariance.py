@@ -16,9 +16,20 @@ from repro.hashing import (
     sequence_invariance_violations,
     strided_addresses,
 )
-from repro.store import make_selector, make_traffic, request_keys
+from repro.store import (
+    make_selector,
+    make_selector_exact,
+    make_traffic,
+    request_keys,
+)
 
 N_SHARDS = 64
+
+#: Non-default fleet sizes the parametrized properties must survive:
+#: the power-of-two rungs every scheme can route, and the exact prime
+#: rungs the epoch ladder grows pMod along.
+POW2_COUNTS = (16, 32, 128, 256)
+PRIME_COUNTS = (61, 67, 127, 251)
 
 #: Strided key streams the property is checked over (odd, even,
 #: around-the-shard-count, and power-of-two strides).
@@ -37,6 +48,26 @@ def _violations(selector):
 def test_modulo_selectors_are_sequence_invariant(scheme, stride):
     selector = make_selector(scheme, N_SHARDS)
     assert is_sequence_invariant(selector, strided_addresses(stride, 2048))
+
+
+@pytest.mark.parametrize("scheme", ["traditional", "pmod"])
+@pytest.mark.parametrize("n_shards", POW2_COUNTS)
+def test_invariance_across_pow2_fleet_sizes(scheme, n_shards):
+    """Property 2 is a property of the modulo family, not of the
+    default 64-shard fleet: it must hold on every pow2 rung."""
+    selector = make_selector(scheme, n_shards)
+    for stride in STRIDES:
+        assert is_sequence_invariant(selector, strided_addresses(stride, 2048))
+
+
+@pytest.mark.parametrize("n_shards", PRIME_COUNTS)
+def test_pmod_invariance_on_exact_prime_fleets(n_shards):
+    """The epoch ladder runs pMod on *exact* prime shard counts
+    (61 -> 67 -> ...); sequence invariance must survive every rung."""
+    selector = make_selector_exact("pmod", n_shards)
+    assert selector.n_shards == n_shards
+    for stride in STRIDES:
+        assert is_sequence_invariant(selector, strided_addresses(stride, 2048))
 
 
 def test_xor_selector_violates_invariance():
