@@ -5,7 +5,7 @@ JOBS ?= 4
 SCALE ?= 1.0
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test verify bench store-bench obs-check serve-check serve-bench health-check reshard-check reshard-bench bench-check dash eval figures report examples clean
+.PHONY: install test verify bench store-bench obs-check serve-check serve-bench health-check reshard-check reshard-bench cluster-check cluster-bench bench-check dash eval figures report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +19,7 @@ test:
 verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.reshard --check
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cluster --check
 	PYTHONPATH=src $(PYTHON) -m repro.obs.benchguard --no-update
 
 bench:
@@ -62,6 +63,20 @@ reshard-check:
 # throughput; writes BENCH_reshard.json at the root.
 reshard-bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_reshard.py -q -s
+
+# Cluster gate: multi-node drill — kill the hottest node under live
+# zipfian traffic, serve through the outage on quorum reads, recover
+# with bounded re-replication; exits nonzero unless the cluster
+# contract holds (zero key loss, no failed reads during the outage,
+# budgeted drain chunks, Figure 5 ordering on the composed map).
+cluster-check:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cluster --check
+
+# Cluster benchmark: healthy-ring replicated-op throughput, during-
+# loss rps and simulated p99, re-replication drain rate; writes
+# BENCH_cluster.json at the root.
+cluster-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_cluster.py -q -s
 
 # Bench-regression gate: compare the current BENCH_*.json headline
 # metrics against the BENCH_history.json trajectory (median of prior

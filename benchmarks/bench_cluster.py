@@ -1,0 +1,110 @@
+"""The cluster tier under a node-loss drill: the multi-node benchmark.
+
+Runs every routing stack (pMod over pMod, traditional over
+traditional, mixed) through the full drill — populate, kill the
+hottest node mid-stream, serve through the loss, bounded
+re-replication — and records the headline rates: replicated-op
+throughput on a healthy ring, request throughput and simulated p99
+*during* the outage, and re-replication drain speed.
+
+Emits ``BENCH_cluster.json`` at the repo root — the machine-readable
+record future PRs regress their cluster/routing changes against
+(gated by ``repro.obs.benchguard`` via ``make bench-check``).
+"""
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from time import perf_counter
+
+from repro.cluster import Cluster, ReplicationConfig
+from repro.experiments.cluster import DEFAULT_STACKS, measure
+
+N_REQUESTS = 8000
+THROUGHPUT_OPS = 4000
+SHARD_CAPACITY = 512
+ASSOC = 16
+REPLICAS = 2
+BUDGET = 128
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
+
+
+def _healthy_ring_rate():
+    """Replicated ops/second on a healthy pMod/pMod ring (wall clock)."""
+    cluster = Cluster(n_nodes=8, node_scheme="pmod", shard_scheme="pmod",
+                      shards_per_node=16, shard_capacity=SHARD_CAPACITY,
+                      assoc=ASSOC,
+                      replication=ReplicationConfig(replicas=REPLICAS))
+    started = perf_counter()
+    for i in range(THROUGHPUT_OPS // 2):
+        cluster.put(i, i)
+    for i in range(THROUGHPUT_OPS // 2):
+        cluster.get(i)
+    elapsed = perf_counter() - started
+    return THROUGHPUT_OPS / elapsed if elapsed > 0 else 0.0
+
+
+def test_cluster_drill(benchmark):
+    cells = {
+        stack: measure(stack, N_REQUESTS, shard_capacity=SHARD_CAPACITY,
+                       assoc=ASSOC, replicas=REPLICAS, budget=BUDGET,
+                       seed=0)
+        for stack in DEFAULT_STACKS
+    }
+
+    print()
+    for stack, cell in cells.items():
+        drill = cell["during_loss"]
+        print(f"  {stack:<26} {cell['n_nodes']}x"
+              f"{cell['shards_per_node']:<3} copied "
+              f"{cell['rereplication']['copied']:>5} "
+              f"loss {drill['rps']:>9.0f} rps "
+              f"p99 {drill['sim_p99_s'] * 1e6:>5.0f}us "
+              f"balance {cell['balance_healthy']:.3f}")
+
+    cluster_rps = benchmark(_healthy_ring_rate)
+
+    payload = {
+        "bench": "cluster",
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "n_requests": N_REQUESTS,
+        "throughput_ops": THROUGHPUT_OPS,
+        "shard_capacity": SHARD_CAPACITY,
+        "assoc": ASSOC,
+        "replicas": REPLICAS,
+        "budget": BUDGET,
+        "cluster_rps": cluster_rps,
+        "rereplicate_keys_per_s":
+            cells["pmod+pmod"]["rereplicate_keys_per_s"],
+        "stacks": {
+            stack: {
+                "n_nodes": cell["n_nodes"],
+                "shards_per_node": cell["shards_per_node"],
+                "victim": cell["victim"],
+                "copied": cell["rereplication"]["copied"],
+                "chunks": cell["journal_chain"]["chunks"],
+                "during_loss_rps": cell["during_loss"]["rps"],
+                "during_loss_p99_s": cell["during_loss"]["sim_p99_s"],
+                "failed_reads": cell["during_loss"]["failed_reads"],
+                "balance_healthy": cell["balance_healthy"],
+                "balance_rebalanced": cell["balance_rebalanced"],
+            }
+            for stack, cell in cells.items()
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {BENCH_PATH}")
+
+    # The cluster contract, asserted on served traffic.
+    for stack, cell in cells.items():
+        assert cell["zero_loss"]["missing"] == 0, stack
+        assert cell["zero_loss"]["mismatched"] == 0, stack
+        assert cell["during_loss"]["failed_reads"] == 0, stack
+        assert (cell["journal_chain"]["max_chunk_moved"]
+                <= cell["rereplication"]["budget"]), stack
+    prime = cells["pmod+pmod"]
+    pow2 = cells["traditional+traditional"]
+    assert prime["balance_healthy"] < pow2["balance_healthy"]
+    assert prime["balance_rebalanced"] < pow2["balance_rebalanced"]

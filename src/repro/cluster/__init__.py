@@ -1,0 +1,67 @@
+"""repro.cluster: a multi-node tier over the sharded store.
+
+The paper's prime-indexing math applied one level up: N store nodes
+behind a two-level router (key → node, then key → shard inside the
+node's own :class:`~repro.store.ShardedStore`), with successor-walk
+replication, quorum reads/writes with read-repair, an explicit node
+failure/recovery lifecycle, bounded re-replication after crash-loss,
+and a virtual-time interconnect model that makes every cross-node hop
+cost something.
+
+Layer layout::
+
+    interconnect  links, switch queues, star / fat-tree topologies
+    node          StoreNode lifecycle (up/degraded/down/recovering)
+    router        ClusterRouter: two RoutingTable levels + replicas()
+    faults        NodeFaultInjector: seeded kills and replica errors
+    engine        Cluster: replicated ops, quorums, journal, metrics
+    rereplicate   ReReplicator: bounded post-crash drain
+
+Entry point::
+
+    from repro.cluster import Cluster, ReplicationConfig
+
+    cluster = Cluster(n_nodes=8, node_scheme="pmod",
+                      shard_scheme="pmod", topology="star",
+                      replication=ReplicationConfig(replicas=2))
+    cluster.put("user:1", b"...")     # fans out to the replica set
+    cluster.fail_node(3)              # crash-loss; reads keep serving
+    cluster.recover_node(3)           # bounded re-replication drain
+"""
+
+from repro.cluster.engine import Cluster, ClusterTelemetry, ReplicationConfig
+from repro.cluster.faults import InjectedNodeFault, NodeFaultInjector
+from repro.cluster.interconnect import (
+    Fabric,
+    Link,
+    LinkStats,
+    TOPOLOGIES,
+    fat_tree_fabric,
+    make_fabric,
+    star_fabric,
+)
+from repro.cluster.node import NodeDownError, NodeState, StoreNode
+from repro.cluster.rereplicate import ReReplicationReport, ReReplicator
+from repro.cluster.router import ClusterRouter, ComposedIndexing
+
+__all__ = [
+    "Cluster",
+    "ClusterRouter",
+    "ClusterTelemetry",
+    "ComposedIndexing",
+    "Fabric",
+    "InjectedNodeFault",
+    "Link",
+    "LinkStats",
+    "NodeDownError",
+    "NodeFaultInjector",
+    "NodeState",
+    "ReReplicationReport",
+    "ReReplicator",
+    "ReplicationConfig",
+    "StoreNode",
+    "TOPOLOGIES",
+    "fat_tree_fabric",
+    "make_fabric",
+    "star_fabric",
+]

@@ -1,0 +1,100 @@
+"""Seeded node-granularity fault injection for cluster drills.
+
+The serving layer already has :class:`~repro.serve.FaultInjector` for
+queue-level chaos; this is its node-tier sibling, reusing the same
+machinery shape — one seeded ``numpy`` generator, deterministic
+targeted faults layered over probabilistic ones — so a cluster drill
+replays exactly under the same seed:
+
+* **scheduled kills/recoveries** — ``fail_at``/``recover_at`` map an
+  operation index to a node id; the cluster consults
+  :meth:`NodeFaultInjector.scheduled` once per submitted op and applies
+  the transition.  This is how the ``cluster`` experiment kills a node
+  mid-run at a reproducible point in the stream.
+* **transient replica errors** — with ``error_probability``, an
+  individual replica sub-operation fails (that replica misses the
+  write / read), which is how quorum paths get exercised without a
+  full node loss.
+
+The injector never touches the cluster itself — it only *decides*; the
+:class:`~repro.cluster.engine.Cluster` applies the transitions so that
+journal events and metrics stay in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["InjectedNodeFault", "NodeFaultInjector"]
+
+
+class InjectedNodeFault(RuntimeError):
+    """Raised in place of a real per-replica failure."""
+
+
+@dataclass
+class NodeFaultInjector:
+    """Seeded, schedulable fault source for cluster operations.
+
+    Attributes:
+        error_probability: chance one replica sub-op fails transiently.
+        seed: RNG seed for the probabilistic draws.
+        fail_at: op index → node id to crash *before* that op.
+        recover_at: op index → node id to start recovering before that
+            op (the cluster runs its bounded re-replication drain).
+    """
+
+    error_probability: float = 0.0
+    seed: int = 0
+    fail_at: Dict[int, int] = field(default_factory=dict)
+    recover_at: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not 0.0 <= self.error_probability <= 1.0:
+            raise ValueError("error_probability must be within [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+        self.injected: Dict[str, int] = {"error": 0, "fail": 0,
+                                         "recover": 0}
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule_fail(self, op_index: int, node_id: int) -> "NodeFaultInjector":
+        self.fail_at[op_index] = node_id
+        return self
+
+    def schedule_recover(self, op_index: int,
+                         node_id: int) -> "NodeFaultInjector":
+        self.recover_at[op_index] = node_id
+        return self
+
+    def scheduled(self, op_index: int) -> List[Tuple[str, int]]:
+        """Transitions due before op ``op_index``: ``[(action, node)]``
+        with action ``"fail"`` or ``"recover"`` (fail first, so a
+        same-index fail+recover of different nodes is well-defined)."""
+        due: List[Tuple[str, int]] = []
+        node = self.fail_at.pop(op_index, None)
+        if node is not None:
+            self.injected["fail"] += 1
+            due.append(("fail", node))
+        node = self.recover_at.pop(op_index, None)
+        if node is not None:
+            self.injected["recover"] += 1
+            due.append(("recover", node))
+        return due
+
+    # -- probabilistic faults -------------------------------------------
+
+    def before_replica_op(self, node_id: int) -> None:
+        """Raise :class:`InjectedNodeFault` with ``error_probability``
+        ahead of one replica sub-operation."""
+        if (self.error_probability > 0.0
+                and self._rng.random() < self.error_probability):
+            self.injected["error"] += 1
+            raise InjectedNodeFault(
+                f"injected replica error on node {node_id}")
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self.injected)

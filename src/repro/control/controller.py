@@ -11,6 +11,11 @@ controller did is reconstructable from the journal.
 
 Decision rules (in priority order):
 
+0. **Down nodes** (clustered deployments only) — fresh
+   ``cluster.node_down`` journal events quarantine the dead node at the
+   cluster router's outer level, shifting its key range to the ring
+   successors.  Blast radius is hierarchical: at most **one node per
+   step**, and never past ``max_quarantine_fraction`` of the ring.
 1. **Stalled shards** — an active fast-window page on the latency SLO
    *and* fresh ``serve.fault.stall`` events since the last step name
    the shard ids to quarantine.  Both signals are required: stall
@@ -56,6 +61,13 @@ class ControlConfig:
         max_quarantine_fraction: ceiling on the quarantined share of
             the fleet — the controller must never route around so many
             shards that the survivors become the hot spot.
+        node_capacity: shards per node in a clustered deployment.  When
+            set, the quarantine blast radius becomes *hierarchical*: no
+            single step may quarantine more than one node's worth of
+            shard capacity, however many shard ids the fault stream
+            names — a correlated burst (one dying node stalling every
+            shard behind it) degrades capacity one node at a time, with
+            a re-observe between steps, instead of in one swing.
     """
 
     target_scheme: str = "pmod"
@@ -63,6 +75,7 @@ class ControlConfig:
     reject_slo: str = "serve-reject-rate"
     migration_budget: int = DEFAULT_MOVE_BUDGET
     max_quarantine_fraction: float = 0.5
+    node_capacity: Optional[int] = None
 
     def __post_init__(self):
         if self.migration_budget < 1:
@@ -70,13 +83,15 @@ class ControlConfig:
         if not 0.0 < self.max_quarantine_fraction <= 1.0:
             raise ValueError(
                 "max_quarantine_fraction must be within (0, 1]")
+        if self.node_capacity is not None and self.node_capacity < 1:
+            raise ValueError("node_capacity must be >= 1 when set")
 
 
 @dataclass(frozen=True)
 class Action:
     """One decided remediation, before/after application."""
 
-    kind: str  #: "quarantine" | "scheme_swap" | "grow" | "shrink"
+    kind: str  #: "quarantine" | "node_quarantine" | "scheme_swap" | "grow" | "shrink"
     reason: str
     detail: Dict[str, Any] = field(default_factory=dict)
 
@@ -92,6 +107,7 @@ class Observation:
     alerts: List[Alert]
     tripped: List[DriftStatus]
     stalled_shards: List[int]
+    down_nodes: List[int] = field(default_factory=list)
 
     def paging(self, slo: str) -> bool:
         """Whether ``slo`` has an active fast-window (paging) alert."""
@@ -102,6 +118,7 @@ class Observation:
             "alerts": [a.as_dict() for a in self.alerts],
             "tripped": [t.as_dict() for t in self.tripped],
             "stalled_shards": list(self.stalled_shards),
+            "down_nodes": list(self.down_nodes),
         }
 
 
@@ -116,21 +133,29 @@ class RemediationController:
         journal: event stream read (fault events) and written
             (``control.*`` events); process-global by default.
         registry: metrics registry for the ``control.*`` counters.
+        cluster: optional :class:`~repro.cluster.Cluster`; when given,
+            fresh ``cluster.node_down`` journal events become
+            node-granularity quarantine actions (route the whole node's
+            traffic to its ring successors, one node per step).
     """
 
     def __init__(self, store: ShardedStore, slo_engine: SloEngine,
                  detector: Optional[HashQualityDetector] = None,
                  config: Optional[ControlConfig] = None,
                  journal: Optional[Journal] = None,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 cluster=None):
         self.store = store
         self.slo_engine = slo_engine
         self.detector = detector
         self.config = config or ControlConfig()
         self._journal = journal
         self._registry = registry
+        self.cluster = cluster
         #: journal seq cursor: fault events at or below it are consumed.
         self._fault_cursor = -1
+        #: journal seq cursor for ``cluster.node_down`` events.
+        self._node_cursor = -1
         self.steps = 0
         self.applied: List[Action] = []
 
@@ -161,26 +186,72 @@ class RemediationController:
                 seen.add(queue_id)
                 stalled.append(queue_id)
         self._fault_cursor = cursor
+        down_nodes: List[int] = []
+        if self.cluster is not None:
+            seen_nodes = set()
+            node_cursor = self._node_cursor
+            for event in self.journal.find("cluster.node_down"):
+                if event.seq <= self._node_cursor:
+                    continue
+                node_cursor = max(node_cursor, event.seq)
+                node_id = event.fields.get("node")
+                if isinstance(node_id, int) and node_id not in seen_nodes:
+                    seen_nodes.add(node_id)
+                    down_nodes.append(node_id)
+            self._node_cursor = node_cursor
         tripped = self.detector.tripped() if self.detector is not None else []
         return Observation(alerts=self.slo_engine.active_alerts(),
                            tripped=list(tripped),
-                           stalled_shards=stalled)
+                           stalled_shards=stalled,
+                           down_nodes=down_nodes)
 
     # -- decide --------------------------------------------------------
 
     def _quarantine_candidates(self, shard_ids: Sequence[int]) -> List[int]:
-        """Valid, novel shard ids that fit under the quarantine cap."""
+        """Valid, novel shard ids that fit under the quarantine caps.
+
+        Two ceilings compose hierarchically: the fleet-wide fraction
+        (``max_quarantine_fraction``, the survivors-stay-viable bound)
+        and, when ``node_capacity`` is set, a per-*step* bound of one
+        node's worth of shards — a correlated fault burst never takes
+        out more than one node of capacity per observe/decide cycle.
+        """
         table = self.store.routing
         candidates = [s for s in shard_ids
                       if 0 <= s < table.n_shards
                       and s not in table.quarantined]
         cap = int(table.n_shards * self.config.max_quarantine_fraction)
-        room = cap - len(table.quarantined)
-        return candidates[:max(0, room)]
+        room = max(0, cap - len(table.quarantined))
+        if self.config.node_capacity is not None:
+            room = min(room, self.config.node_capacity)
+        return candidates[:room]
+
+    def _node_quarantine_candidates(self,
+                                    node_ids: Sequence[int]) -> List[int]:
+        """Valid, novel node ids — blast radius one node per step, and
+        never so many that the live ring drops below half."""
+        if self.cluster is None:
+            return []
+        table = self.cluster.router.node_table
+        candidates = [n for n in node_ids
+                      if 0 <= n < table.n_shards
+                      and n not in table.quarantined]
+        cap = int(table.n_shards * self.config.max_quarantine_fraction)
+        room = max(0, cap - len(table.quarantined))
+        return candidates[:min(room, 1)]
 
     def decide(self, observation: Observation) -> List[Action]:
         """Map one observation to remediation actions (may be empty)."""
         actions: List[Action] = []
+        if observation.down_nodes:
+            nodes = self._node_quarantine_candidates(observation.down_nodes)
+            if nodes:
+                actions.append(Action(
+                    kind="node_quarantine",
+                    reason=(f"cluster.node_down events for nodes "
+                            f"{sorted(observation.down_nodes)}; "
+                            f"quarantining {nodes} (one node per step)"),
+                    detail={"nodes": nodes}))
         if (observation.stalled_shards
                 and observation.paging(self.config.latency_slo)):
             shards = self._quarantine_candidates(observation.stalled_shards)
@@ -242,6 +313,15 @@ class RemediationController:
                               quarantined=sorted(table.quarantined),
                               reason=action.reason)
             detail["epoch"] = table.epoch_id
+        elif action.kind == "node_quarantine":
+            router = self.cluster.quarantine_node(detail["nodes"])
+            registry.counter("control.node_quarantines").inc()
+            self.journal.emit("control.node_quarantine",
+                              nodes=list(detail["nodes"]),
+                              epoch=router.epoch,
+                              quarantined=sorted(router.quarantined_nodes),
+                              reason=action.reason)
+            detail["epoch"] = router.epoch
         elif action.kind == "scheme_swap":
             table = self.store.routing.reschemed(detail["to_scheme"])
             detail["migration"] = self._reshard_to(table)

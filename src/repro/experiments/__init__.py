@@ -22,6 +22,7 @@ module                      reproduces
 ``store_sharding``          sharded KV store balance (extension)
 ``health``                  SLO burn-rate + drift watchdog drill (extension)
 ``reshard``                 live prime-ladder reshard contract (extension)
+``cluster``                 multi-node loss/recovery drill (extension)
 ========================== ======================================
 
 Each module exposes ``run(...)``, ``render(result)`` and a ``main()``
@@ -61,6 +62,7 @@ EXPERIMENT_MODULES = (
     "serving",
     "health",
     "reshard",
+    "cluster",
 )
 
 

@@ -51,6 +51,7 @@ from repro.obs.sinks import (
 from repro.obs.spans import Span, SpanTracer, get_tracer, set_tracer, trace_span
 
 __all__ = [
+    "CLUSTER_METRICS",
     "CONTROL_METRICS",
     "CORE_COUNTERS",
     "EVENT_SCHEMA_VERSION",
@@ -161,6 +162,25 @@ CONTROL_METRICS = {
     "control.quarantines": "counter",
     "control.reshards": "counter",
     "control.scheme_swaps": "counter",
+    "control.node_quarantines": "counter",
+}
+
+#: Cluster-tier series (`repro.cluster`), same contract.  The labeled
+#: per-node/per-link series (``cluster.node.state{node}``,
+#: ``cluster.link.utilization{link}``) still appear on first touch;
+#: the unlabeled declarations keep snapshots schema-stable.
+CLUSTER_METRICS = {
+    "cluster.requests": "counter",
+    "cluster.quorum_misses": "counter",
+    "cluster.read_repairs": "counter",
+    "cluster.replica_errors": "counter",
+    "cluster.rereplicated_keys": "counter",
+    "cluster.node_failures": "counter",
+    "cluster.link.drops": "counter",
+    "cluster.node.state": "gauge",
+    "cluster.node_balance": "gauge",
+    "cluster.link.utilization": "gauge",
+    "cluster.op.sim_latency_s": "histogram",
 }
 
 
@@ -168,13 +188,13 @@ def declare_core_metrics(registry: MetricsRegistry = None) -> None:
     """Materialize the stable snapshot schema on ``registry``:
     :data:`CORE_COUNTERS` plus the :data:`STORE_METRICS` /
     :data:`SERVE_METRICS` / :data:`JOURNAL_METRICS` /
-    :data:`HEALTH_METRICS` / :data:`CONTROL_METRICS` series, all at
-    zero."""
+    :data:`HEALTH_METRICS` / :data:`CONTROL_METRICS` /
+    :data:`CLUSTER_METRICS` series, all at zero."""
     registry = registry or get_registry()
     for name in CORE_COUNTERS:
         registry.counter(name)
     for metrics in (STORE_METRICS, SERVE_METRICS, JOURNAL_METRICS,
-                    HEALTH_METRICS, CONTROL_METRICS):
+                    HEALTH_METRICS, CONTROL_METRICS, CLUSTER_METRICS):
         for name, kind in metrics.items():
             getattr(registry, kind)(name)
 

@@ -96,6 +96,12 @@ BENCH_METRICS: Dict[str, Tuple[Tuple[str, Tuple[str, ...], str], ...]] = {
         ("pmod_during_reshard_rps",
          ("schemes", "pmod", "during_rps"), "higher"),
     ),
+    "cluster": (
+        ("cluster_rps", ("cluster_rps",), "higher"),
+        ("rereplicate_keys_per_s", ("rereplicate_keys_per_s",), "higher"),
+        ("pmod_stack_loss_p99_s",
+         ("stacks", "pmod+pmod", "during_loss_p99_s"), "lower"),
+    ),
 }
 
 

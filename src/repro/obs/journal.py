@@ -49,6 +49,7 @@ from repro.obs.registry import get_registry
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
+    "KNOWN_EVENT_KINDS",
     "Journal",
     "JournalEvent",
     "disable_journal",
@@ -65,6 +66,41 @@ EVENT_SCHEMA_VERSION = 1
 #: Keys every journal event must carry.
 EVENT_REQUIRED_KEYS = ("schema_version", "seq", "ts_unix_s", "mono_s",
                        "kind", "fields")
+
+#: Every event kind the system emits, the versioned schema's
+#: vocabulary.  Producers adding a kind must add it here (and document
+#: it in ``docs/observability.md``); :func:`validate_event` only
+#: enforces membership when asked (``require_known_kind=True``), so
+#: ad-hoc kinds in tests and downstream tooling keep working while
+#: replay pipelines can opt into strict vocabulary checking.
+KNOWN_EVENT_KINDS = frozenset({
+    "cluster.node_down",
+    "cluster.node_up",
+    "cluster.quorum_miss",
+    "cluster.rereplicate",
+    "control.action",
+    "control.node_quarantine",
+    "control.quarantine",
+    "engine.cache.corrupt_discard",
+    "experiment.finish",
+    "experiment.start",
+    "health.alert_fired",
+    "health.alert_resolved",
+    "health.drift_recovered",
+    "health.drift_tripped",
+    "reshard.commit",
+    "reshard.migrate_chunk",
+    "reshard.start",
+    "serve.admission_reject",
+    "serve.dropped",
+    "serve.fault.delay",
+    "serve.fault.error",
+    "serve.fault.stall",
+    "serve.rebind",
+    "serve.retry_exhausted",
+    "serve.timeout",
+    "store.replay.error",
+})
 
 #: Default rotation threshold for the JSONL sink.
 DEFAULT_MAX_BYTES = 4 << 20
@@ -95,8 +131,14 @@ class JournalEvent:
         }
 
 
-def validate_event(event: Mapping) -> None:
-    """Raise ValueError unless ``event`` is a valid journal line."""
+def validate_event(event: Mapping, require_known_kind: bool = False) -> None:
+    """Raise ValueError unless ``event`` is a valid journal line.
+
+    With ``require_known_kind`` the kind must also belong to
+    :data:`KNOWN_EVENT_KINDS` — the strict mode for replay pipelines
+    that want vocabulary drift (a producer emitting an undocumented
+    kind) to fail loudly rather than flow through.
+    """
     missing = [k for k in EVENT_REQUIRED_KEYS if k not in event]
     if missing:
         raise ValueError(f"journal event missing keys: {', '.join(missing)}")
@@ -110,6 +152,10 @@ def validate_event(event: Mapping) -> None:
                          f"got {event['seq']!r}")
     if not isinstance(event["kind"], str) or not event["kind"]:
         raise ValueError("journal event kind must be a non-empty string")
+    if require_known_kind and event["kind"] not in KNOWN_EVENT_KINDS:
+        raise ValueError(
+            f"journal event kind {event['kind']!r} is not in the "
+            f"documented vocabulary (KNOWN_EVENT_KINDS)")
     if not isinstance(event["fields"], Mapping):
         raise ValueError("journal event fields must be a mapping")
 

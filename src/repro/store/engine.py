@@ -436,6 +436,20 @@ class ShardedStore:
                 moved += 1
         return moved
 
+    def wipe(self) -> None:
+        """Drop every entry and all per-shard stats: crash-loss
+        simulation (the process restarted; the routing configuration
+        survived, the contents did not).  Any in-flight reshard's old
+        epoch is discarded with the data."""
+        with self._epoch_lock:
+            state = self._state
+            self._state = _EpochState(
+                state.table, self._build_shards(state.table.n_shards),
+                None, None)
+            with self._window_lock:
+                self._window.clear()
+            self._bind_instruments()
+
     def quarantine(self, shard_ids: Iterable[int]) -> RoutingTable:
         """Route around ``shard_ids``: swap in a same-fleet successor
         epoch whose table probes past the quarantined shards.  Keys

@@ -1,0 +1,138 @@
+"""The virtual-time interconnect: links, queues, topologies, congestion."""
+
+import pytest
+
+from repro.cluster import (
+    Fabric,
+    Link,
+    fat_tree_fabric,
+    make_fabric,
+    star_fabric,
+)
+from repro.cluster.interconnect import FRONTEND, node_endpoint
+
+
+class TestLink:
+    def test_serialization_plus_latency(self):
+        link = Link("a->b", bandwidth_bps=1000, latency_s=0.5)
+        # 100 bytes at 1000 B/s = 0.1s on the wire, then 0.5s of flight.
+        assert link.send(0.0, 100) == pytest.approx(0.6)
+
+    def test_contention_serializes(self):
+        link = Link("a->b", bandwidth_bps=1000, latency_s=0.0)
+        first = link.send(0.0, 100)
+        second = link.send(0.0, 100)
+        # The second message waits for the wire: strictly later arrival.
+        assert second == pytest.approx(first + 0.1)
+        assert link.queued_s == pytest.approx(0.1)
+
+    def test_bounded_queue_tail_drops(self):
+        link = Link("a->b", bandwidth_bps=10, latency_s=0.0, queue_depth=2)
+        assert link.send(0.0, 100) is not None  # serializing
+        assert link.send(0.0, 100) is not None  # queued (depth 1)
+        assert link.send(0.0, 100) is None      # queue full: dropped
+        assert link.drops == 1
+        assert link.transfers == 2
+
+    def test_queue_drains_with_virtual_time(self):
+        link = Link("a->b", bandwidth_bps=10, latency_s=0.0, queue_depth=1)
+        link.send(0.0, 100)   # busy until 10.0
+        assert link.send(0.0, 100) is None
+        # Long after the wire freed up, sends flow again.
+        assert link.send(50.0, 100) is not None
+
+    def test_determinism(self):
+        def run():
+            link = Link("a->b", bandwidth_bps=997, latency_s=1e-6,
+                        queue_depth=4)
+            return [link.send(i * 1e-4, 256) for i in range(100)]
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Link("x", bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Link("x", latency_s=-1)
+        with pytest.raises(ValueError):
+            Link("x", queue_depth=0)
+
+
+class TestStarFabric:
+    def test_every_pair_routes_through_the_switch(self):
+        fabric = star_fabric(4)
+        assert fabric.hops(FRONTEND, node_endpoint(2)) == 2
+        assert fabric.hops(node_endpoint(0), node_endpoint(3)) == 2
+
+    def test_transfer_accumulates_both_hops(self):
+        fabric = star_fabric(2, bandwidth_bps=1000, latency_s=0.25)
+        # 100B: 0.1 + 0.25 per hop, two hops.
+        assert fabric.transfer(FRONTEND, node_endpoint(0), 100,
+                               0.0) == pytest.approx(0.7)
+
+    def test_round_trip_includes_service_time(self):
+        fabric = star_fabric(2, bandwidth_bps=1000, latency_s=0.0)
+        done = fabric.round_trip(FRONTEND, node_endpoint(0),
+                                 request_bytes=100, response_bytes=100,
+                                 now_s=0.0, service_s=1.0)
+        assert done == pytest.approx(0.1 + 0.1 + 1.0 + 0.1 + 0.1)
+
+    def test_self_transfer_is_free(self):
+        fabric = star_fabric(2)
+        assert fabric.transfer("node0", "node0", 10_000, 5.0) == 5.0
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(KeyError, match="no path"):
+            star_fabric(2).transfer("node0", "node99", 1, 0.0)
+
+
+class TestFatTreeFabric:
+    def test_same_leaf_shortcut(self):
+        fabric = fat_tree_fabric(8, leaf_width=4)
+        assert fabric.hops(node_endpoint(0), node_endpoint(3)) == 2
+        assert fabric.hops(node_endpoint(0), node_endpoint(4)) == 4
+
+    def test_frontend_descends_through_leaf(self):
+        fabric = fat_tree_fabric(8, leaf_width=4)
+        assert fabric.hops(FRONTEND, node_endpoint(5)) == 3
+
+    def test_cross_leaf_costs_more_than_same_leaf(self):
+        fabric = fat_tree_fabric(8, leaf_width=4, bandwidth_bps=1000,
+                                 latency_s=0.1)
+        near = fabric.transfer(node_endpoint(0), node_endpoint(1), 100, 0.0)
+        far = fabric.transfer(node_endpoint(0), node_endpoint(7), 100, 0.0)
+        assert far > near
+
+
+class TestCongestion:
+    def test_congestion_widens_tail_latency(self):
+        """Offered load past the shared uplink's capacity queues, and
+        queueing shows up as a widening arrival-minus-send gap — the
+        mechanical tail-latency story, no randomness anywhere."""
+        fabric = star_fabric(2, bandwidth_bps=10_000, latency_s=0.0,
+                             queue_depth=1024)
+        latencies = []
+        for i in range(200):
+            now = i * 1e-3  # 1000 msgs/s of 100B = 100 KB/s >> 10 KB/s
+            arrival = fabric.transfer(FRONTEND, node_endpoint(0), 100, now)
+            latencies.append(arrival - now)
+        assert latencies[-1] > latencies[0] * 10
+
+    def test_stats_report_utilization_and_drops(self):
+        fabric = star_fabric(2, bandwidth_bps=100, latency_s=0.0,
+                             queue_depth=1)
+        for i in range(10):
+            fabric.transfer(FRONTEND, node_endpoint(0), 100, i * 1e-3)
+        stats = fabric.stats(elapsed_s=1.0)
+        assert stats["drops"] > 0
+        busy = {row["name"]: row for row in stats["links"]}
+        assert 0.0 < busy["frontend->sw0"]["utilization"] <= 1.0
+
+
+class TestMakeFabric:
+    def test_by_name(self):
+        assert make_fabric("star", 3).topology == "star"
+        assert make_fabric("fat-tree", 3).topology == "fat-tree"
+
+    def test_unknown_topology(self):
+        with pytest.raises(KeyError, match="unknown topology"):
+            make_fabric("torus", 3)

@@ -1,0 +1,171 @@
+"""Two-level routing: composition algebra, parity, invariance (§3 P2).
+
+The composed map key → (node, shard) must behave like one indexing
+function: scalar and vectorized paths agree bit-for-bit, quarantine
+re-routing agrees across both paths, and the paper's sequence
+invariance (Property 2) survives composition — pMod over pMod is, by
+CRT, one modulo by the prime product; pow2 over pow2 one modulo by the
+larger power of two; an XOR outer level breaks the property exactly as
+it does at one level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterRouter
+from repro.hashing import (
+    is_sequence_invariant,
+    sequence_invariance_violations,
+    strided_addresses,
+)
+from repro.store import RoutingTable
+
+#: Exact node-ring sizes the properties must survive (ISSUE: 3/5/7).
+NODE_COUNTS = (3, 5, 7)
+
+#: Inner fleets: one power-of-two, one exact-prime.
+SHARD_FLEETS = (("traditional", 16), ("pmod", 13))
+
+STRIDES = (1, 2, 7, 13, 16, 64, 65)
+
+
+def make_router(node_scheme="pmod", n_nodes=5, shard_scheme="pmod",
+                shards_per_node=13):
+    node_table = RoutingTable.create(node_scheme, n_nodes)
+    shard_tables = [RoutingTable.create(shard_scheme, shards_per_node)
+                    for _ in range(node_table.n_shards)]
+    return ClusterRouter(node_table, shard_tables)
+
+
+class TestScalarVectorParity:
+    @pytest.mark.parametrize("n_nodes", NODE_COUNTS)
+    @pytest.mark.parametrize("shard_scheme,shards_per_node", SHARD_FLEETS)
+    def test_route_matches_route_array(self, n_nodes, shard_scheme,
+                                       shards_per_node):
+        router = make_router(n_nodes=n_nodes, shard_scheme=shard_scheme,
+                             shards_per_node=shards_per_node)
+        keys = np.arange(0, 4096, 3, dtype=np.uint64)
+        nodes, shards = router.route_array(keys)
+        for i in (0, 1, 17, 100, len(keys) - 1):
+            node, shard = router.route(int(keys[i]))
+            assert (node, shard) == (int(nodes[i]), int(shards[i]))
+
+    def test_composed_index_matches_index_array(self):
+        router = make_router()
+        composed = router.composed
+        keys = strided_addresses(7, 512)
+        flat = composed.index_array(keys)
+        assert flat.min() >= 0 and flat.max() < composed.n_sets
+        for i in (0, 5, 311):
+            assert composed.index(int(keys[i])) == int(flat[i])
+
+    @pytest.mark.parametrize("n_nodes", NODE_COUNTS)
+    def test_quarantine_probe_parity(self, n_nodes):
+        """Node-level quarantine re-routes identically on the scalar
+        and vectorized paths, and never lands on a quarantined node."""
+        router = make_router(n_nodes=n_nodes).with_node_quarantined([0])
+        keys = np.arange(2048, dtype=np.uint64)
+        nodes, _ = router.route_array(keys)
+        assert 0 not in set(nodes.tolist())
+        for k in range(0, 2048, 97):
+            assert router.node(k) == int(nodes[k])
+            assert router.node(k) != 0
+
+
+class TestSequenceInvariance:
+    @pytest.mark.parametrize("n_nodes", NODE_COUNTS)
+    @pytest.mark.parametrize("stride", STRIDES)
+    def test_pmod_over_pmod_is_invariant(self, n_nodes, stride):
+        """Distinct primes at both levels compose (CRT) into one
+        modulo — Property 2 holds for the composed mapping."""
+        router = make_router(node_scheme="pmod", n_nodes=n_nodes,
+                             shard_scheme="pmod", shards_per_node=13)
+        assert is_sequence_invariant(router.composed,
+                                     strided_addresses(stride, 2048))
+
+    @pytest.mark.parametrize("stride", STRIDES)
+    def test_pow2_over_pow2_is_invariant(self, stride):
+        router = make_router(node_scheme="traditional", n_nodes=4,
+                             shard_scheme="traditional",
+                             shards_per_node=16)
+        assert is_sequence_invariant(router.composed,
+                                     strided_addresses(stride, 2048))
+
+    @pytest.mark.parametrize("shard_scheme,shards_per_node", SHARD_FLEETS)
+    def test_mixed_stacks_are_invariant_when_both_levels_are_modulo(
+            self, shard_scheme, shards_per_node):
+        router = make_router(node_scheme="pmod", n_nodes=5,
+                             shard_scheme=shard_scheme,
+                             shards_per_node=shards_per_node)
+        for stride in STRIDES:
+            assert is_sequence_invariant(router.composed,
+                                         strided_addresses(stride, 1024))
+
+    def test_xor_outer_level_violates_invariance(self):
+        router = make_router(node_scheme="xor", n_nodes=8,
+                             shard_scheme="pmod", shards_per_node=13)
+        violations = sum(
+            sequence_invariance_violations(router.composed,
+                                           strided_addresses(s, 2048))
+            for s in STRIDES)
+        assert violations > 0
+
+
+class TestReplicas:
+    def test_primary_first_then_ring_successors(self):
+        router = make_router(n_nodes=5)
+        for key in range(100):
+            placement = router.replicas(key, 3)
+            assert placement[0] == router.node(key)
+            assert len(placement) == len(set(placement)) == 3
+            for a, b in zip(placement, placement[1:]):
+                assert b == (a + 1) % router.n_nodes
+
+    def test_placement_is_pure_function_of_key_and_table(self):
+        router = make_router(n_nodes=7)
+        first = [tuple(router.replicas(k, 2)) for k in range(500)]
+        second = [tuple(router.replicas(k, 2)) for k in range(500)]
+        assert first == second
+
+    def test_quarantined_nodes_are_skipped(self):
+        router = make_router(n_nodes=5).with_node_quarantined([1, 2])
+        for key in range(200):
+            placement = router.replicas(key, 2)
+            assert 1 not in placement and 2 not in placement
+            assert len(placement) == 2
+
+    def test_r_capped_at_usable_ring(self):
+        router = make_router(n_nodes=3).with_node_quarantined([0])
+        assert len(router.replicas(42, 5)) == 2
+
+    def test_r_must_be_positive(self):
+        with pytest.raises(ValueError, match="replica count"):
+            make_router().replicas(1, 0)
+
+
+class TestDerivation:
+    def test_quarantine_bumps_epoch(self):
+        router = make_router()
+        assert router.epoch == 0
+        quarantined = router.with_node_quarantined([2])
+        assert quarantined.epoch == 1
+        assert quarantined.quarantined_nodes == frozenset([2])
+        healed = quarantined.without_node_quarantined()
+        assert healed.epoch == 2
+        assert healed.quarantined_nodes == frozenset()
+
+    def test_noop_quarantine_returns_self(self):
+        router = make_router()
+        assert router.with_node_quarantined([]) is router
+
+    def test_table_count_mismatch_rejected(self):
+        node_table = RoutingTable.create("pmod", 5)
+        with pytest.raises(ValueError, match="one shard table per node"):
+            ClusterRouter(node_table,
+                          [RoutingTable.create("pmod", 13)] * 3)
+
+    def test_describe(self):
+        router = make_router(n_nodes=5, shards_per_node=13)
+        description = router.describe()
+        assert description["n_nodes"] == 5
+        assert description["shards_per_node"] == [13] * 5

@@ -195,6 +195,88 @@ class TestApply:
         assert events[0].fields["scheme"] == "pmod"
 
 
+class TestHierarchicalBlastRadius:
+    def test_node_capacity_caps_one_step_at_one_node(self):
+        """A correlated burst naming two nodes' worth of shards only
+        quarantines one node's worth per step (regression: the old cap
+        was a flat fleet fraction, so one burst could take out half the
+        fleet in a single swing)."""
+        config = ControlConfig(node_capacity=4)
+        controller, store, journal = make_controller(alerts=[page()],
+                                                     config=config)
+        journal.enable()
+        for queue_id in range(8):  # two nodes' worth of stalled shards
+            journal.emit("serve.fault.stall", queue_id=queue_id)
+        controller.step()
+        assert len(store.routing.quarantined) == 4
+        # The remaining shards need a fresh observe/decide cycle (and
+        # fresh evidence) — the next step sees no new stall events.
+        assert controller.step() == []
+        assert len(store.routing.quarantined) == 4
+
+    def test_node_capacity_still_respects_fleet_fraction(self):
+        config = ControlConfig(node_capacity=8,
+                               max_quarantine_fraction=0.05)
+        controller, store, journal = make_controller(alerts=[page()],
+                                                     config=config)
+        journal.enable()
+        for queue_id in range(10):
+            journal.emit("serve.fault.stall", queue_id=queue_id)
+        controller.step()
+        # min(floor(61 * 0.05) = 3, node_capacity = 8) = 3.
+        assert len(store.routing.quarantined) == 3
+
+
+class TestNodeQuarantineRule:
+    def _make_clustered(self, journal):
+        from repro.cluster import Cluster, ReplicationConfig
+
+        cluster = Cluster(n_nodes=5, node_scheme="pmod",
+                          shard_scheme="pmod", shards_per_node=8,
+                          replication=ReplicationConfig(replicas=2))
+        store = ShardedStore(routing=RoutingTable.create("pmod", 61),
+                             shard_capacity=256, assoc=16)
+        controller = RemediationController(
+            store, FakeSloEngine(), journal=journal, cluster=cluster)
+        return controller, cluster
+
+    def test_node_down_event_quarantines_the_node(self):
+        journal = Journal()
+        controller, cluster = self._make_clustered(journal)
+        journal.emit("cluster.node_down", node=3, live_nodes=4, epoch=0)
+        actions = controller.step()
+        assert [a.kind for a in actions] == ["node_quarantine"]
+        assert cluster.router.quarantined_nodes == frozenset([3])
+        assert cluster.epoch == 1
+        (event,) = journal.find("control.node_quarantine")
+        assert event.fields["nodes"] == [3]
+        # Consumed-once: the same event never re-triggers.
+        assert controller.step() == []
+
+    def test_at_most_one_node_per_step(self):
+        journal = Journal()
+        controller, cluster = self._make_clustered(journal)
+        journal.emit("cluster.node_down", node=1, live_nodes=4, epoch=0)
+        journal.emit("cluster.node_down", node=2, live_nodes=3, epoch=0)
+        actions = controller.step()
+        assert [a.kind for a in actions] == ["node_quarantine"]
+        assert len(cluster.router.quarantined_nodes) == 1
+
+    def test_traffic_routes_around_quarantined_node(self):
+        journal = Journal()
+        controller, cluster = self._make_clustered(journal)
+        journal.emit("cluster.node_down", node=2, live_nodes=4, epoch=0)
+        controller.step()
+        keys = range(200)
+        assert all(cluster.router.node(k) != 2 for k in keys)
+
+    def test_without_cluster_node_events_are_ignored(self):
+        journal = Journal()
+        controller, store, _ = make_controller(journal=journal)
+        journal.emit("cluster.node_down", node=0, live_nodes=4, epoch=0)
+        assert controller.step() == []
+
+
 class TestConfigValidation:
     def test_bad_budget_rejected(self):
         with pytest.raises(ValueError, match="migration_budget"):
@@ -203,3 +285,7 @@ class TestConfigValidation:
     def test_bad_fraction_rejected(self):
         with pytest.raises(ValueError, match="max_quarantine_fraction"):
             ControlConfig(max_quarantine_fraction=1.5)
+
+    def test_bad_node_capacity_rejected(self):
+        with pytest.raises(ValueError, match="node_capacity"):
+            ControlConfig(node_capacity=0)

@@ -1,6 +1,7 @@
 """Pre-declared metric schema: stable snapshots before first traffic."""
 
 from repro.obs import (
+    CLUSTER_METRICS,
     CONTROL_METRICS,
     CORE_COUNTERS,
     HEALTH_METRICS,
@@ -16,7 +17,7 @@ from repro.obs import (
 #: Every declared layer's name -> kind mapping, in one place so the
 #: parity tests below cover new layers automatically.
 DECLARED_LAYERS = (STORE_METRICS, SERVE_METRICS, JOURNAL_METRICS,
-                   HEALTH_METRICS, CONTROL_METRICS)
+                   HEALTH_METRICS, CONTROL_METRICS, CLUSTER_METRICS)
 
 
 class TestDeclaredSchema:
@@ -106,6 +107,40 @@ class TestDeclaredSchema:
         assert cold == declared
         # The controller's counters are all unlabeled, so even a warm
         # registry exposes exactly the declared set — no more, no less.
+        assert warm == declared
+
+    def test_cluster_declaration_parity_with_emitting_code(self):
+        """Every unlabeled ``cluster.*`` series the cluster tier can
+        emit is pre-declared: a cold snapshot carries exactly the
+        declared cluster names, and a snapshot taken after a full
+        drill (traffic, node kill, recovery drain, telemetry publish)
+        adds only *labeled* variants of declared names."""
+        from repro.cluster import Cluster, ReplicationConfig
+        from repro.obs import Journal, set_journal
+
+        registry, _ = enable_observability()
+        cold = {name for name in _names(registry)
+                if name.startswith("cluster.")}
+
+        set_journal(Journal())
+        cluster = Cluster(n_nodes=5, node_scheme="pmod",
+                          shard_scheme="pmod", shards_per_node=8,
+                          replication=ReplicationConfig(replicas=2),
+                          registry=registry)
+        for i in range(64):
+            cluster.put(i, i)
+        cluster.fail_node(1)
+        for i in range(64):
+            cluster.get(i)
+        cluster.recover_node(1)
+        cluster.telemetry()
+
+        warm = {name for name in _names(registry)
+                if name.startswith("cluster.")}
+        declared = set(CLUSTER_METRICS)
+        assert cold == declared
+        # Warm adds only labeled variants (per-node state gauges,
+        # per-link utilization), never an undeclared cluster. name.
         assert warm == declared
 
     def test_declared_series_start_at_zero(self):

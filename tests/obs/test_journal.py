@@ -92,6 +92,47 @@ class TestSchema:
         with pytest.raises(ValueError, match=match):
             validate_event(event)
 
+    def test_known_kind_vocabulary_is_opt_in(self):
+        """Default validation accepts ad-hoc kinds; strict mode
+        (``require_known_kind``) pins the documented vocabulary."""
+        from repro.obs.journal import KNOWN_EVENT_KINDS
+
+        event = Journal().emit("totally.ad_hoc").as_dict()
+        validate_event(event)  # lax mode: fine
+        with pytest.raises(ValueError, match="vocabulary"):
+            validate_event(event, require_known_kind=True)
+        for kind in ("cluster.node_down", "cluster.node_up",
+                     "cluster.quorum_miss", "cluster.rereplicate",
+                     "control.node_quarantine"):
+            assert kind in KNOWN_EVENT_KINDS
+            known = Journal().emit(kind).as_dict()
+            validate_event(known, require_known_kind=True)
+
+    def test_emitted_kinds_stay_in_vocabulary(self):
+        """Every kind the cluster tier journals during a drill is part
+        of the versioned vocabulary — replaying the drill's journal in
+        strict mode must not raise."""
+        from repro.cluster import Cluster, ReplicationConfig
+
+        journal = Journal()
+        set_journal(journal)
+        try:
+            cluster = Cluster(
+                n_nodes=5, node_scheme="pmod", shard_scheme="pmod",
+                shards_per_node=8,
+                replication=ReplicationConfig(replicas=2))
+            for i in range(32):
+                cluster.put(i, i)
+            cluster.fail_node(2)
+            cluster.recover_node(2)
+        finally:
+            disable_journal()
+        kinds = {e.kind for e in journal.tail()}
+        assert {"cluster.node_down", "cluster.node_up",
+                "cluster.rereplicate"} <= kinds
+        for event in journal.tail():
+            validate_event(event.as_dict(), require_known_kind=True)
+
     def test_unserializable_fields_are_stringified(self, tmp_path):
         path = tmp_path / "j.jsonl"
         journal = Journal(path=path)
