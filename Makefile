@@ -5,7 +5,7 @@ JOBS ?= 4
 SCALE ?= 1.0
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test verify bench store-bench obs-check serve-check serve-bench health-check reshard-check reshard-bench cluster-check cluster-bench bench-check dash eval figures report examples clean
+.PHONY: install test verify bench store-bench obs-check serve-check serve-bench health-check trace-check reshard-check reshard-bench cluster-check cluster-bench bench-check dash eval figures report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -20,6 +20,7 @@ verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.reshard --check
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cluster --check
+	$(MAKE) trace-check
 	PYTHONPATH=src $(PYTHON) -m repro.obs.benchguard --no-update
 
 bench:
@@ -52,6 +53,15 @@ serve-bench:
 # drill; exits nonzero unless every watchdog check holds.
 health-check:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.health --check
+
+# Tracing gate: the serving drill with request tracing on (per-scheme
+# stage decompositions must explain >=90% of measured wall time), the
+# cluster drill likewise, and the health drill's SLO page must leave a
+# journaled flight dump with a complete slow-trace waterfall.
+trace-check:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.serving --trace --check --scale 0.25
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cluster --trace --check --scale 0.25
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.health --check --scale 0.5
 
 # Reshard gate: live prime-ladder resize under zipfian traffic; exits
 # nonzero unless the reshard contract holds (zero key loss, bounded

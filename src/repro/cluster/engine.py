@@ -40,12 +40,19 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.hashing.analysis import balance_from_counts
-from repro.obs import MetricsRegistry, get_journal, get_registry
+from repro.obs import (
+    HeavyHitterTracker,
+    MetricsRegistry,
+    get_collector,
+    get_journal,
+    get_registry,
+)
 from repro.cluster.faults import InjectedNodeFault, NodeFaultInjector
 from repro.cluster.interconnect import (
     FRONTEND,
@@ -72,6 +79,14 @@ FAILED_OP_LATENCY_S = 2e-3
 
 #: Bounded window of per-op simulated latencies (tail percentiles).
 LATENCY_WINDOW = 1 << 16
+
+#: 1-in-N op sampling for wall-clock stage attribution (the cluster's
+#: op path is synchronous and hot; sampling keeps tracing cheap).
+TRACE_EVERY = 16
+
+#: Space-saving heavy-hitter slots tracked per cluster (top routed
+#: keys, attributed to their primary node).
+HOT_KEYS = 8
 
 
 @dataclass(frozen=True)
@@ -132,6 +147,7 @@ class ClusterTelemetry:
     fabric_drops: int
     node_accesses: List[int] = field(default_factory=list)
     node_states: List[str] = field(default_factory=list)
+    top_keys: List[Dict[str, Any]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -158,6 +174,7 @@ class ClusterTelemetry:
             "fabric_drops": self.fabric_drops,
             "node_accesses": list(self.node_accesses),
             "node_states": list(self.node_states),
+            "top_keys": list(self.top_keys),
         }
 
 
@@ -237,6 +254,12 @@ class Cluster:
         }
         self._registry = get_registry() if registry is None else registry
         self._observed = self._registry.enabled
+        self._hitters = (HeavyHitterTracker(k=HOT_KEYS)
+                         if self._observed else None)
+        #: per-op sample counters for :meth:`_maybe_trace` (a single
+        #: global index would alias with alternating op patterns and
+        #: starve one op type of traces entirely).
+        self._trace_seen: Dict[str, int] = {}
         self._bind_instruments()
 
     def _bind_instruments(self) -> None:
@@ -311,6 +334,25 @@ class Cluster:
 
     # -- clock / fault schedule -----------------------------------------
 
+    def _maybe_trace(self, op: str, key: StoreKey):
+        """Begin a wall-clock attribution trace for 1-in-
+        :data:`TRACE_EVERY` ops (None otherwise / when tracing is off).
+
+        The cluster's *simulated* latency lives on the virtual clock;
+        the trace measures the real wall time the synchronous op path
+        spends in routing, replica fan-out, and quorum settling, so
+        the critical-path analyzer can decompose the stack's own cost.
+        """
+        collector = get_collector()
+        if not collector.enabled:
+            return None
+        seen = self._trace_seen.get(op, 0)
+        self._trace_seen[op] = seen + 1
+        if seen % TRACE_EVERY != 0:
+            return None
+        return collector.begin(op, scheme=self.scheme, key=str(key),
+                               epoch=self.epoch)
+
     def _begin_op(self, op: str) -> float:
         """Advance the virtual clock, apply due fault-schedule
         transitions, and count the op; returns its arrival time."""
@@ -383,12 +425,19 @@ class Cluster:
     def put(self, key: StoreKey, value: Any) -> int:
         """Replicated write; returns the ack count (< ``write_quorum``
         means a journaled quorum miss, still applied best-effort)."""
+        ctx = self._maybe_trace("put", key)
         now = self._begin_op("put")
         canonical = canonical_key(key)
         self._version += 1
         stamped = (self._version, value)
         placement = self.router.replicas(canonical,
                                          self.replication.replicas)
+        if self._hitters is not None:
+            self._hitters.offer(str(canonical), placement[0])
+        fan_from = perf_counter()
+        if ctx is not None:
+            ctx.stage("route", ctx.start_s, fan_from - ctx.start_s,
+                      replicas=len(placement))
         acks = 0
         completions: List[float] = []
         for node_id in placement:
@@ -402,18 +451,37 @@ class Cluster:
             node.put(canonical, stamped)
             acks += 1
             completions.append(done)
-        if acks < self.replication.write_quorum:
+        settle_from = perf_counter()
+        if ctx is not None:
+            ctx.stage("contact", fan_from, settle_from - fan_from,
+                      acks=acks, replicas=len(placement))
+        clean = acks >= self.replication.write_quorum
+        if not clean:
             self._quorum_miss("put", acks, self.replication.write_quorum)
-        self._finish_op(now, completions,
-                        self.replication.write_quorum)
+        latency = self._finish_op(now, completions,
+                                  self.replication.write_quorum)
+        if ctx is not None:
+            end = perf_counter()
+            ctx.stage("settle", settle_from, end - settle_from,
+                      sim_latency_s=latency)
+            get_collector().finish(
+                ctx, status="ok" if clean else "quorum_miss",
+                wall_s=end - ctx.start_s)
         return acks
 
     def get(self, key: StoreKey, default: Any = None) -> Any:
         """Quorum read with read-repair; returns the freshest value."""
+        ctx = self._maybe_trace("get", key)
         now = self._begin_op("get")
         canonical = canonical_key(key)
         placement = self.router.replicas(canonical,
                                          self.replication.replicas)
+        if self._hitters is not None:
+            self._hitters.offer(str(canonical), placement[0])
+        fan_from = perf_counter()
+        if ctx is not None:
+            ctx.stage("route", ctx.start_s, fan_from - ctx.start_s,
+                      replicas=len(placement))
         reached = 0
         completions: List[float] = []
         freshest: Optional[tuple] = None
@@ -433,7 +501,12 @@ class Cluster:
             if copy is not _MISS and (freshest is None
                                       or copy[0] > freshest[0]):
                 freshest = copy
-        if reached < self.replication.read_quorum:
+        settle_from = perf_counter()
+        if ctx is not None:
+            ctx.stage("contact", fan_from, settle_from - fan_from,
+                      reached=reached, replicas=len(placement))
+        quorate = reached >= self.replication.read_quorum
+        if not quorate:
             self._quorum_miss("get", reached,
                               self.replication.read_quorum)
             if reached == 0:
@@ -447,15 +520,30 @@ class Cluster:
                     self.counts["read_repairs"] += 1
                     if self._observed:
                         self._repair_counter.inc()
-        self._finish_op(now, completions, self.replication.read_quorum)
+        latency = self._finish_op(now, completions,
+                                  self.replication.read_quorum)
+        if ctx is not None:
+            end = perf_counter()
+            ctx.stage("settle", settle_from, end - settle_from,
+                      sim_latency_s=latency)
+            get_collector().finish(
+                ctx, status="ok" if quorate else "quorum_miss",
+                wall_s=end - ctx.start_s)
         return default if freshest is None else freshest[1]
 
     def delete(self, key: StoreKey) -> bool:
         """Delete from every writable replica; True if any copy died."""
+        ctx = self._maybe_trace("delete", key)
         now = self._begin_op("delete")
         canonical = canonical_key(key)
         placement = self.router.replicas(canonical,
                                          self.replication.replicas)
+        if self._hitters is not None:
+            self._hitters.offer(str(canonical), placement[0])
+        fan_from = perf_counter()
+        if ctx is not None:
+            ctx.stage("route", ctx.start_s, fan_from - ctx.start_s,
+                      replicas=len(placement))
         deleted = False
         completions: List[float] = []
         for node_id in placement:
@@ -467,8 +555,18 @@ class Cluster:
                 continue
             completions.append(done)
             deleted = node.delete(canonical) or deleted
-        self._finish_op(now, completions,
-                        self.replication.write_quorum)
+        settle_from = perf_counter()
+        if ctx is not None:
+            ctx.stage("contact", fan_from, settle_from - fan_from,
+                      replicas=len(placement))
+        latency = self._finish_op(now, completions,
+                                  self.replication.write_quorum)
+        if ctx is not None:
+            end = perf_counter()
+            ctx.stage("settle", settle_from, end - settle_from,
+                      sim_latency_s=latency)
+            get_collector().finish(ctx, status="ok",
+                                   wall_s=end - ctx.start_s)
         return deleted
 
     # -- node lifecycle --------------------------------------------------
@@ -550,6 +648,13 @@ class Cluster:
             return math.nan
         return float(balance_from_counts(counts))
 
+    def heavy_hitters(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Top routed keys (space-saving estimate), heaviest first;
+        ``where`` is the key's primary node.  Empty when unobserved."""
+        if self._hitters is None:
+            return []
+        return self._hitters.top(n)
+
     def sim_latency_percentiles(self) -> Dict[str, float]:
         if not self._latencies:
             return {"p50": 0.0, "p99": 0.0}
@@ -589,6 +694,7 @@ class Cluster:
             fabric_drops=self.fabric.drops,
             node_accesses=counts.tolist(),
             node_states=[n.state.value for n in self.nodes],
+            top_keys=self.heavy_hitters(),
         )
         if self._observed:
             self._registry.gauge("cluster.node_balance",

@@ -53,7 +53,13 @@ from repro.engine import (
     run_experiment,
 )
 from repro.hashing import balance_from_counts
-from repro.obs import Journal, get_journal, set_journal
+from repro.obs import (
+    Journal,
+    enable_observability,
+    get_collector,
+    get_journal,
+    set_journal,
+)
 from repro.store import make_traffic, request_keys
 from repro.store.selector import canonical_key
 
@@ -66,6 +72,10 @@ DEFAULT_STACKS = ("pmod+pmod", "traditional+traditional",
 #: fragmentation (8 nodes -> 7 usable, 16 shards -> 13).
 N_NODES = 8
 SHARDS_PER_NODE = 16
+
+#: Minimum fraction of measured op wall time the per-stage attribution
+#: must explain (the tracing contract, asserted only when tracing ran).
+MIN_STAGE_COVERAGE = 0.9
 
 
 def _fingerprint(params: Mapping) -> str:
@@ -172,6 +182,14 @@ def measure(stack: str, n_requests: int, shard_capacity: int = 512,
         chunk_events = journal.find("cluster.rereplicate")
         up_events = journal.find("cluster.node_up")
         telemetry = cluster.telemetry()
+        attribution = None
+        collector = get_collector()
+        if collector.enabled:
+            # Wall-clock stage decomposition of this stack's sampled
+            # ops (route → replica fan-out → quorum settle); the stack
+            # label keeps each cell's traces separable on the global
+            # collector.
+            attribution = collector.analyze(scheme=cluster.scheme)
         return {
             "stack": stack,
             "node_scheme": node_scheme,
@@ -213,6 +231,7 @@ def measure(stack: str, n_requests: int, shard_capacity: int = 512,
             "quorum_misses": cluster.counts["quorum_misses"],
             "evictions": telemetry.evictions,
             "telemetry": telemetry.as_dict(),
+            "attribution": attribution,
         }
     finally:
         set_journal(previous)
@@ -248,6 +267,10 @@ def cluster_checks(cells: Mapping[str, Mapping]) -> Dict[str, bool]:
             0 <= chain["down_seq"] < chain["first_chunk_seq"]
             < chain["up_seq"])
         checks[f"{stack}_no_evictions"] = cell["evictions"] == 0
+        attribution = cell.get("attribution")
+        if attribution and attribution.get("n_traces"):
+            checks[f"{stack}_stage_coverage"] = bool(
+                attribution["coverage"] >= MIN_STAGE_COVERAGE)
     prime = cells.get("pmod+pmod")
     pow2 = cells.get("traditional+traditional")
     if prime is not None and pow2 is not None:
@@ -283,6 +306,21 @@ def render(data: Mapping) -> str:
             f"{drill['rps']:>9.0f} {drill['sim_p99_s'] * 1e6:>7.0f}us "
             f"{cell['balance_healthy']:>11.3f} "
             f"{cell['balance_rebalanced']:>10.3f}")
+    attributed = [(stack, cell["attribution"])
+                  for stack, cell in data["cells"].items()
+                  if cell.get("attribution")
+                  and cell["attribution"].get("n_traces")]
+    if attributed:
+        lines.append("")
+        lines.append("Per-stage op attribution (sampled wall-clock "
+                     "traces):")
+        for stack, ana in attributed:
+            stages = ", ".join(
+                f"{name} {stage['share']:.0%}"
+                for name, stage in list(ana["stages"].items())[:4])
+            lines.append(
+                f"  {stack}: {ana['n_traces']} traces, coverage "
+                f"{ana['coverage']:.0%} — {stages}")
     checks = data.get("checks", {})
     if checks:
         verdict = "ok" if all(checks.values()) else "VIOLATED"
@@ -366,7 +404,13 @@ def main() -> None:
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero unless every cluster contract "
                              "check holds (the make cluster-check gate)")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable op tracing: sample wall-clock stage "
+                             "timelines and publish the per-stack "
+                             "critical-path decomposition")
     args = parser.parse_args()
+    if args.trace:
+        enable_observability()
     artifact = run_experiment("cluster", context_from_args(args))
     print(render_artifact(artifact))
     if args.check:

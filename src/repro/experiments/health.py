@@ -52,6 +52,7 @@ from repro.obs import (
     Journal,
     disable_observability,
     enable_observability,
+    get_collector,
     get_journal,
     get_registry,
     set_journal,
@@ -80,6 +81,15 @@ DRIFT_SCHEMES = ("traditional", "xor", "pmod", "pdisp")
 #: under it, a timed-out request (timeout + backoff + retry timeout)
 #: sits well over it, so the stall phase burns budget mechanically.
 P99_TARGET_S = 0.02
+
+#: Trace-sampling rate during the drills: dense enough (1-in-4) that
+#: the flight recorder holds complete slow-trace waterfalls when the
+#: page fires.
+DRILL_SPAN_EVERY = 4
+
+#: A journaled flight-dump waterfall counts as complete when its
+#: stages explain at least this fraction of the trace's wall time.
+MIN_WATERFALL_COVERAGE = 0.9
 
 
 def hottest_shards(scheme: str, requests: Sequence, n_shards: int,
@@ -130,6 +140,7 @@ def drill(scheme: str, requests: Sequence, *, n_shards: int = 8,
                                       max_queue_depth=512),
             policy=FaultPolicy(timeout_s=timeout_s, max_retries=1),
             injector=injector,
+            span_every=DRILL_SPAN_EVERY,
         )
 
     report = run_open_loop(build, requests, rate_rps=rate_rps,
@@ -169,7 +180,8 @@ def health_checks(healthy: Sequence[Mapping], stalled: Sequence[Mapping],
                   alerts: Sequence[Mapping], stall_payload: Mapping,
                   drift: Mapping[str, Mapping],
                   chain: Mapping[str, Optional[int]],
-                  remediation: Mapping) -> Dict[str, bool]:
+                  remediation: Mapping,
+                  flight_events: Sequence[Mapping] = ()) -> Dict[str, bool]:
     """The watchdog + remediation contract, asserted on the artifact."""
     stall_seq = chain.get("serve.fault.stall")
     timeout_seq = chain.get("serve.timeout")
@@ -198,6 +210,14 @@ def health_checks(healthy: Sequence[Mapping], stalled: Sequence[Mapping],
         "fast_page_resolved": not any(
             a["window"] == "fast" and a["slo"] == "serve-p99-latency"
             for a in post_alerts),
+        # -- the page leaves evidence: a journaled flight dump whose
+        # embedded slowest trace is a complete waterfall ----------------
+        "flight_dump_journaled": len(flight_events) > 0,
+        "flight_waterfall_complete": any(
+            event["fields"].get("slowest", {}).get("stages")
+            and event["fields"]["slowest"].get("coverage", 0.0)
+            >= MIN_WATERFALL_COVERAGE
+            for event in flight_events),
         "traditional_drift_trips": not drift["traditional"]["ok"],
         "pmod_within_band": drift["pmod"]["ok"],
         "pdisp_within_band": drift["pdisp"]["ok"],
@@ -221,8 +241,14 @@ def run(scale: float = 1.0, seed: int = 0, n_shards: int = 8,
         set_journal(Journal())  # in-memory: tail + find, no file
     try:
         journal = get_journal()
+        # The process-wide collector's flight recorder: drill traces
+        # land in it via the frontends' 1-in-DRILL_SPAN_EVERY sampling,
+        # and the SLO engine dumps it the moment a page fires.
+        flight = get_collector().flight
+        flight.clear()
         engine = SloEngine(default_slos(p99_target_s=P99_TARGET_S),
-                           registry=get_registry(), journal=journal)
+                           registry=get_registry(), journal=journal,
+                           flight=flight)
         n_healthy = max(200, int(600 * scale))
         healthy_requests = make_traffic("zipfian", n_healthy, seed=seed)
         healthy_payload = drill("pmod", healthy_requests,
@@ -277,6 +303,8 @@ def run(scale: float = 1.0, seed: int = 0, n_shards: int = 8,
         drift = drift_drill(max(512, int(4096 * scale)), drift_shards,
                             seed, detector)
         chain = _journal_chain(journal)
+        flight_events = [e.as_dict()
+                         for e in journal.find("obs.flight_dump")]
         by_kind: Dict[str, int] = {}
         for event in journal.tail():
             by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
@@ -294,11 +322,19 @@ def run(scale: float = 1.0, seed: int = 0, n_shards: int = 8,
             "recovery": {"payload": recovery_payload,
                          "slos": recovery_statuses},
             "drift": drift,
+            "flight": {
+                "recorded": flight.recorded,
+                "dumps": flight.dumps,
+                "n_slow": len(flight.slowest()),
+                "n_error": len(flight.errors()),
+                "dump_events": flight_events,
+            },
             "journal": {"events": journal.events,
                         "by_kind": by_kind, "chain": chain},
             "checks": health_checks(healthy_statuses, stalled_statuses,
                                     alerts, stall_payload, drift, chain,
-                                    remediation),
+                                    remediation,
+                                    flight_events=flight_events),
         }
     finally:
         if not was_enabled:
@@ -348,6 +384,24 @@ def render(data: Mapping) -> str:
             f"(epoch {remediation.get('epoch')}); "
             f"alerts after recovery: "
             f"{[a['slo'] + '/' + a['window'] for a in post] or 'none'}")
+    flight = data.get("flight", {})
+    if flight:
+        dumps = flight.get("dump_events", [])
+        line = (f"flight recorder: {flight.get('recorded', 0)} traces "
+                f"recorded, {flight.get('n_slow', 0)} slow + "
+                f"{flight.get('n_error', 0)} error retained, "
+                f"{flight.get('dumps', 0)} dump(s)")
+        if dumps:
+            slowest = dumps[0]["fields"].get("slowest", {})
+            if slowest:
+                stages = ", ".join(
+                    f"{s['name']} {s['duration_s'] * 1e3:.2f}ms"
+                    for s in slowest.get("stages", []))
+                line += (f"; page dump '{dumps[0]['fields']['reason']}' "
+                         f"slowest trace {slowest.get('trace_id')} "
+                         f"({slowest.get('wall_s', 0.0) * 1e3:.2f} ms): "
+                         f"{stages}")
+        sections.append(line)
     chain = data["journal"]["chain"]
     sections.append(
         "journal chain (seq): " + " -> ".join(

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from typing import Dict, List, Mapping, Optional
 
 from repro.engine import (
@@ -40,6 +41,7 @@ from repro.engine import (
     render_artifact,
     run_experiment,
 )
+from repro.obs import enable_observability, get_collector
 from repro.reporting import serve_latency_table, serve_tail_chart
 from repro.serve import (
     AdmissionConfig,
@@ -53,6 +55,14 @@ from repro.store import ShardedStore, make_traffic
 
 #: Schemes compared, in the paper's figure order.
 DEFAULT_SCHEMES = ("traditional", "xor", "pmod", "pdisp")
+
+#: Trace-sampling rate for the attribution run: one request in this
+#: many carries a full stage timeline when tracing is enabled.
+SPAN_EVERY = 8
+
+#: Minimum fraction of measured request wall time the per-stage
+#: decomposition must explain for a scheme's attribution to count.
+MIN_STAGE_COVERAGE = 0.9
 
 
 def _serve_fingerprint(params: Mapping) -> str:
@@ -95,6 +105,7 @@ def measure(scheme: str, n_requests: int, pattern: str = "zipfian",
             policy=FaultPolicy(timeout_s=timeout_s,
                                max_retries=max_retries),
             injector=injector,
+            span_every=SPAN_EVERY,
         )
 
     requests = make_traffic(pattern, n_requests, seed=seed)
@@ -106,8 +117,15 @@ def measure(scheme: str, n_requests: int, pattern: str = "zipfian",
     payload["scheme"] = scheme
     payload["balance"] = store_telemetry.balance
     payload["concentration"] = store_telemetry.concentration
+    payload["top_keys"] = store_telemetry.top_keys
     payload["stalled_shard"] = (stall_shard % store.n_shards
                                 if stall_shard is not None else None)
+    collector = get_collector()
+    if collector.enabled:
+        # Per-scheme critical-path decomposition over this run's
+        # sampled traces (the collector is process-global; the scheme
+        # label keeps each cell's traces separable).
+        payload["attribution"] = collector.analyze(scheme=scheme)
     return payload
 
 
@@ -129,6 +147,13 @@ def degradation_checks(cells: Mapping[str, Mapping],
         if stalled:
             checks[f"{scheme}_stall_surfaces_explicitly"] = bool(
                 statuses.get("timeout", 0) + statuses.get("rejected", 0) > 0)
+        attribution = cell.get("attribution")
+        if attribution and attribution.get("n_traces"):
+            # The tracing contract: sampled stage timelines must
+            # explain at least MIN_STAGE_COVERAGE of the measured
+            # request wall time, or the decomposition is lying.
+            checks[f"{scheme}_stage_coverage"] = bool(
+                attribution["coverage"] >= MIN_STAGE_COVERAGE)
     return checks
 
 
@@ -146,6 +171,22 @@ def render(data: Mapping) -> str:
                    f"shards{suffix})")),
         serve_tail_chart(rows, title="p99 latency (ms) per scheme"),
     ]
+    attributed = [(scheme, cell["attribution"])
+                  for scheme, cell in data["schemes"].items()
+                  if cell.get("attribution")
+                  and cell["attribution"].get("n_traces")]
+    if attributed:
+        lines = ["Per-stage latency attribution (sampled traces):"]
+        for scheme, ana in attributed:
+            stages = ", ".join(
+                f"{name} {stage['share']:.0%}"
+                for name, stage in list(ana["stages"].items())[:5])
+            p99 = ana["percentiles"]["p99"]
+            lines.append(
+                f"  {scheme}: {ana['n_traces']} traces, coverage "
+                f"{ana['coverage']:.0%}; p99 trace {p99['trace_id']} "
+                f"({p99['wall_s'] * 1e3:.2f} ms) — {stages}")
+        sections.append("\n".join(lines))
     checks = data.get("checks", {})
     if checks:
         verdict = "ok" if all(checks.values()) else "VIOLATED"
@@ -241,9 +282,30 @@ register(ExperimentSpec(
 def main() -> None:
     from repro.experiments.common import context_from_args, standard_argparser
 
-    args = standard_argparser(__doc__).parse_args()
+    parser = standard_argparser(__doc__)
+    parser.add_argument("--trace", action="store_true",
+                        help="enable request tracing: sample stage "
+                             "timelines and publish the per-scheme "
+                             "critical-path decomposition")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless every serving contract "
+                             "check holds (the make trace-check gate)")
+    args = parser.parse_args()
+    if args.trace:
+        enable_observability()
     artifact = run_experiment("serving", context_from_args(args))
     print(render_artifact(artifact))
+    if args.check:
+        checks = artifact["data"]["checks"]
+        failing = [name for name, ok in checks.items() if not ok]
+        if args.trace and not any(name.endswith("_stage_coverage")
+                                  for name in checks):
+            failing.append("stage_coverage_attribution_missing")
+        if failing:
+            print(f"serving-check: FAILED ({', '.join(failing)})",
+                  file=sys.stderr)
+            raise SystemExit(1)
+        print("serving-check: ok")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,19 @@ paths; ``python -m repro.experiments <name> --metrics-out PATH
 snapshot next to the artifact.
 """
 
+from repro.obs.attrib import (
+    CriticalPathAnalyzer,
+    FlightRecorder,
+    HeavyHitterTracker,
+    Stage,
+    Trace,
+    TraceCollector,
+    TraceContext,
+    activate,
+    current_trace,
+    get_collector,
+    set_collector,
+)
 from repro.obs.journal import (
     EVENT_SCHEMA_VERSION,
     Journal,
@@ -59,10 +72,14 @@ __all__ = [
     "JOURNAL_METRICS",
     "Journal",
     "JournalEvent",
+    "OBS_METRICS",
     "SERVE_METRICS",
     "STORE_METRICS",
     "Counter",
+    "CriticalPathAnalyzer",
+    "FlightRecorder",
     "Gauge",
+    "HeavyHitterTracker",
     "Histogram",
     "MetricsRegistry",
     "NULL",
@@ -70,16 +87,24 @@ __all__ = [
     "SNAPSHOT_SCHEMA_VERSION",
     "Span",
     "SpanTracer",
+    "Stage",
+    "Trace",
+    "TraceCollector",
+    "TraceContext",
+    "activate",
+    "current_trace",
     "declare_core_metrics",
     "disable_journal",
     "disable_observability",
     "enable_journal",
     "enable_observability",
+    "get_collector",
     "get_journal",
     "get_registry",
     "get_tracer",
     "metrics_snapshot",
     "metrics_table",
+    "set_collector",
     "set_journal",
     "set_registry",
     "set_tracer",
@@ -183,26 +208,33 @@ CLUSTER_METRICS = {
     "cluster.op.sim_latency_s": "histogram",
 }
 
+#: Attribution-layer series (`repro.obs.attrib`), same contract.
+OBS_METRICS = {
+    "obs.flight_dumps": "counter",
+}
+
 
 def declare_core_metrics(registry: MetricsRegistry = None) -> None:
     """Materialize the stable snapshot schema on ``registry``:
     :data:`CORE_COUNTERS` plus the :data:`STORE_METRICS` /
     :data:`SERVE_METRICS` / :data:`JOURNAL_METRICS` /
     :data:`HEALTH_METRICS` / :data:`CONTROL_METRICS` /
-    :data:`CLUSTER_METRICS` series, all at zero."""
+    :data:`CLUSTER_METRICS` / :data:`OBS_METRICS` series, all at zero."""
     registry = registry or get_registry()
     for name in CORE_COUNTERS:
         registry.counter(name)
     for metrics in (STORE_METRICS, SERVE_METRICS, JOURNAL_METRICS,
-                    HEALTH_METRICS, CONTROL_METRICS, CLUSTER_METRICS):
+                    HEALTH_METRICS, CONTROL_METRICS, CLUSTER_METRICS,
+                    OBS_METRICS):
         for name, kind in metrics.items():
             getattr(registry, kind)(name)
 
 
 def enable_observability(clear: bool = True):
-    """Enable the process-wide registry and tracer; returns both.
+    """Enable the process-wide registry, tracer, and trace collector;
+    returns (registry, tracer).
 
-    ``clear`` resets any series/spans accumulated by a previous
+    ``clear`` resets any series/spans/traces accumulated by a previous
     enable, so one CLI run snapshots only its own events.  The journal
     is separate opt-in (:func:`enable_journal` / ``--journal PATH``)
     because it has a durable on-disk sink, but its metric series are
@@ -210,15 +242,19 @@ def enable_observability(clear: bool = True):
     """
     registry = get_registry().enable()
     tracer = get_tracer().enable()
+    collector = get_collector()
+    collector.enabled = True
     if clear:
         registry.clear()
         tracer.clear()
+        collector.clear()
     declare_core_metrics(registry)
     return registry, tracer
 
 
 def disable_observability():
-    """Disable the process-wide registry, tracer, and journal;
-    returns (registry, tracer)."""
+    """Disable the process-wide registry, tracer, trace collector, and
+    journal; returns (registry, tracer)."""
     disable_journal()
+    get_collector().enabled = False
     return get_registry().disable(), get_tracer().disable()

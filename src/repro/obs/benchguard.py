@@ -78,6 +78,10 @@ BENCH_METRICS: Dict[str, Tuple[Tuple[str, Tuple[str, ...], str], ...]] = {
     ),
     "obs_overhead": (
         ("disabled_s", ("disabled_s",), "lower"),
+        # Absolute traced time, not the overhead fraction: the paired
+        # medians sit near zero, where a ratio's relative shortfall is
+        # meaningless and the gate would silently skip.
+        ("traced_s", ("traced_s",), "lower"),
     ),
     "store_sharding": (
         ("zipfian_pmod_throughput_rps",

@@ -98,6 +98,7 @@ def build_dashboard(registry: Optional[MetricsRegistry] = None,
                     drift_statuses: Sequence[Any] = (),
                     checks: Optional[Mapping[str, bool]] = None,
                     bench_root: Union[str, os.PathLike, None] = None,
+                    flight: Any = None,
                     tail_rows: int = DEFAULT_TAIL_ROWS) -> Dict[str, Any]:
     """Assemble the dashboard model from whichever sources exist.
 
@@ -106,7 +107,10 @@ def build_dashboard(registry: Optional[MetricsRegistry] = None,
     decoded ``journal_events``; health results as the
     ``as_dict()``-able objects the health layer returns (or plain
     dicts).  ``bench_root`` pulls ``BENCH_*.json`` + history through
-    :mod:`repro.obs.benchguard`.
+    :mod:`repro.obs.benchguard`.  ``flight`` is a live
+    :class:`~repro.obs.attrib.FlightRecorder`, its ``snapshot()``
+    dict, or a plain list of trace dicts (e.g. a flight-dump JSONL
+    replayed from disk) — rendered as slow-trace waterfalls.
     """
     if snapshot is None and registry is not None:
         snapshot = metrics_snapshot(registry, tracer)
@@ -138,6 +142,21 @@ def build_dashboard(registry: Optional[MetricsRegistry] = None,
                     "direction": direction,
                     "history": series,
                 }
+    flight_model: Optional[Dict[str, Any]] = None
+    if flight is not None:
+        if hasattr(flight, "snapshot"):
+            flight_model = flight.snapshot()
+        elif isinstance(flight, Mapping):
+            flight_model = dict(flight)
+        else:  # a replayed flight-dump JSONL: every line is one trace
+            traces = [dict(t) for t in flight]
+            flight_model = {
+                "recorded": len(traces), "dumps": 0,
+                "slowest": sorted(traces,
+                                  key=lambda t: -t.get("wall_s", 0.0)),
+                "errors": [t for t in traces
+                           if t.get("status", "ok") != "ok"],
+            }
     return {
         "generated_at": _now_iso(),
         "metrics": dict(snapshot) if snapshot is not None else None,
@@ -149,6 +168,7 @@ def build_dashboard(registry: Optional[MetricsRegistry] = None,
         "drift": _dictify(drift_statuses),
         "checks": dict(checks) if checks else {},
         "bench": bench,
+        "flight": flight_model,
     }
 
 
@@ -211,6 +231,28 @@ def render_text(model: Mapping[str, Any]) -> str:
             ["bench metric", "current", "better", "trend", "runs"],
             rows, title="bench trajectory (BENCH_*.json + history)"))
 
+    flight = model.get("flight") or {}
+    slowest = flight.get("slowest") or []
+    if slowest:
+        rows = []
+        for t in slowest:
+            stages = t.get("stages") or []
+            breakdown = " ".join(
+                f"{s['name']}={s['duration_s'] * 1e3:.2f}ms"
+                for s in stages) or "-"
+            rows.append([t.get("trace_id", "-"), t.get("op", "-"),
+                         t.get("scheme") or "-", t.get("status", "-"),
+                         f"{t.get('wall_s', 0.0) * 1e3:.2f}",
+                         _fmt(t.get("coverage")), breakdown])
+        sections.append(format_table(
+            ["trace", "op", "scheme", "status", "wall (ms)", "coverage",
+             "stages"],
+            rows,
+            title=(f"flight recorder — slowest traces "
+                   f"({len(slowest)} retained, "
+                   f"{flight.get('recorded', len(slowest))} recorded, "
+                   f"{len(flight.get('errors') or [])} errors)")))
+
     events = model.get("journal_tail") or []
     if events:
         rows = [[str(e["seq"]), f"{e['mono_s']:.3f}", e["kind"],
@@ -248,6 +290,17 @@ th { background: #efefe8; } td:first-child, th:first-child
 .bad { color: #b91c1c; font-weight: bold; }
 .muted { color: #777; }
 .spark { letter-spacing: 1px; }
+.wf { margin: 0.4rem 0 1.2rem; max-width: 64rem; }
+.wf-row { display: flex; align-items: center; font-size: 0.8rem;
+          margin: 2px 0; }
+.wf-label { width: 11rem; flex: none; text-align: right;
+            padding-right: 0.6rem; color: #444; }
+.wf-track { flex: 1; height: 0.9rem; background: #efefe8;
+            display: block; }
+.wf-bar { height: 100%; background: #2563eb; opacity: 0.85;
+          display: block; }
+.wf-bar-wall { background: #9ca3af; }
+.wf-bar-err { background: #b91c1c; }
 """
 
 
@@ -267,8 +320,54 @@ def _html_table(headers: Sequence[str],
 
 
 def _verdict(ok: bool, good: str = "ok", bad: str = "FAIL") -> str:
-    return (f'<span class="ok">{good}</span>' if ok
-            else f'<span class="bad">{bad}</span>')
+    # The labels are data (alert severities, check names), not markup:
+    # escape them, or a metric label like `scheme=<b>x` walks straight
+    # into the document.
+    label = html.escape(good if ok else bad)
+    return (f'<span class="ok">{label}</span>' if ok
+            else f'<span class="bad">{label}</span>')
+
+
+#: Slow traces rendered as waterfalls on the HTML dashboard (the rest
+#: stay in the JSONL dump; the panel is for reading, not archiving).
+_WATERFALL_TRACES = 5
+
+
+def _waterfall(trace: Mapping[str, Any]) -> List[str]:
+    """One trace as an inline-CSS stage waterfall (no scripts/assets)."""
+    wall_s = float(trace.get("wall_s") or 0.0)
+    wall_ms = wall_s * 1e3
+    coverage = trace.get("coverage")
+    status = str(trace.get("status", "ok"))
+    title = (f"{trace.get('trace_id', '?')} — op={trace.get('op', '?')}"
+             f" scheme={trace.get('scheme') or '-'}"
+             f" status={status} wall={wall_ms:.2f}ms"
+             + (f" coverage={coverage:.0%}"
+                if isinstance(coverage, (int, float)) else ""))
+    out = [f"<h3>{html.escape(title)}</h3>", '<div class="wf">']
+    out.append(
+        '<div class="wf-row"><span class="wf-label">wall</span>'
+        '<span class="wf-track"><span class="wf-bar wf-bar-wall" '
+        f'style="width:100%"></span></span>'
+        f'<span class="wf-label">{wall_ms:.2f}ms</span></div>')
+    bar_class = "wf-bar" if status == "ok" else "wf-bar wf-bar-err"
+    for stage in trace.get("stages") or []:
+        start = float(stage.get("start_s") or 0.0)
+        dur = float(stage.get("duration_s") or 0.0)
+        if wall_s > 0:
+            left = max(0.0, min(100.0, start / wall_s * 100.0))
+            width = max(0.0, min(100.0 - left, dur / wall_s * 100.0))
+        else:
+            left, width = 0.0, 0.0
+        out.append(
+            '<div class="wf-row">'
+            f'<span class="wf-label">{html.escape(stage.get("name", "?"))}'
+            '</span><span class="wf-track">'
+            f'<span class="{bar_class}" style="margin-left:{left:.1f}%;'
+            f'width:{width:.1f}%;display:block"></span></span>'
+            f'<span class="wf-label">{dur * 1e3:.2f}ms</span></div>')
+    out.append("</div>")
+    return out
 
 
 def render_html(model: Mapping[str, Any]) -> str:
@@ -342,6 +441,20 @@ def render_html(model: Mapping[str, Any]) -> str:
         parts += _html_table(
             ["bench metric", "current", "better", "trend", "runs"], rows)
 
+    flight = model.get("flight") or {}
+    slowest = flight.get("slowest") or []
+    if slowest:
+        n_err = len(flight.get("errors") or [])
+        parts.append("<h2>Flight recorder — slow-trace waterfalls</h2>")
+        parts.append(
+            f"<p class=\"muted\">{len(slowest)} slow traces retained of "
+            f"{_h(flight.get('recorded', len(slowest)))} recorded; "
+            f"{n_err} error traces; {_h(flight.get('dumps', 0))} dumps. "
+            "Bars are stage offsets/durations within each trace's "
+            "measured wall time.</p>")
+        for t in slowest[:_WATERFALL_TRACES]:
+            parts += _waterfall(t)
+
     events = model.get("journal_tail") or []
     if events:
         parts.append(
@@ -403,6 +516,9 @@ def main(argv: Optional[List[str]] = None) -> None:
                         help="journal JSONL file (rotated segment included)")
     parser.add_argument("--bench-root", default=None, metavar="DIR",
                         help="directory holding BENCH_*.json + history")
+    parser.add_argument("--flight", default=None, metavar="PATH",
+                        help="flight-recorder dump JSONL (one trace per "
+                             "line) rendered as slow-trace waterfalls")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write self-contained HTML here "
                              "(default: terminal rendering to stdout)")
@@ -415,8 +531,12 @@ def main(argv: Optional[List[str]] = None) -> None:
         from repro.obs.journal import replay
 
         events = list(replay(args.journal, strict=False))
+    flight = None
+    if args.flight:
+        flight = [json.loads(line) for line
+                  in Path(args.flight).read_text().splitlines() if line]
     model = build_dashboard(snapshot=snapshot, journal_events=events,
-                            bench_root=args.bench_root)
+                            bench_root=args.bench_root, flight=flight)
     if args.out:
         print(f"dashboard written to {write_dashboard(args.out, model)}")
     else:

@@ -226,7 +226,8 @@ class SloEngine:
                  registry: Optional[MetricsRegistry] = None,
                  journal: Optional[Journal] = None,
                  fast_threshold: float = FAST_BURN_THRESHOLD,
-                 slow_threshold: float = SLOW_BURN_THRESHOLD):
+                 slow_threshold: float = SLOW_BURN_THRESHOLD,
+                 flight: Optional[Any] = None):
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise ValueError("SLO names must be unique")
@@ -235,6 +236,12 @@ class SloEngine:
         self.slow_threshold = slow_threshold
         self._registry = registry
         self._journal = journal
+        #: Optional :class:`~repro.obs.attrib.FlightRecorder`.  When a
+        #: page-severity (fast-window) alert fires, the engine dumps the
+        #: recorder so the traces behind the burn are preserved at the
+        #: moment of the page, not whenever an operator gets around to
+        #: asking.
+        self.flight = flight
         #: name -> (bad, total) lifetime values at the last evaluation.
         self._prev: Dict[str, Tuple[float, float]] = {}
         #: name -> (bad, total) accumulated slow-window tallies
@@ -342,6 +349,8 @@ class SloEngine:
                               window=window, burn_rate=burn,
                               threshold=threshold,
                               severity=alert.severity)
+            if alert.severity == "page" and self.flight is not None:
+                self.flight.dump(reason=f"slo:{spec.name}:{window}")
         elif not alerting and was_active:
             del self._active[key]
             self.journal.emit("health.alert_resolved", slo=spec.name,
@@ -442,7 +451,13 @@ def strict_bands(n_shards: int,
 
 @dataclass(frozen=True)
 class DriftStatus:
-    """One scheme's graded hashing quality."""
+    """One scheme's graded hashing quality.
+
+    ``top_keys`` names the heaviest routed keys at grading time (from
+    the store's :class:`~repro.obs.attrib.HeavyHitterTracker`, when one
+    is feeding the detector), so a concentration trip reads "these keys
+    are the skew" instead of a bare number.
+    """
 
     scheme: str
     balance: float
@@ -451,6 +466,7 @@ class DriftStatus:
     concentration_max: float
     balance_ok: bool
     concentration_ok: bool
+    top_keys: Tuple[Mapping[str, Any], ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -468,6 +484,7 @@ class DriftStatus:
             "balance_ok": self.balance_ok,
             "concentration_ok": self.concentration_ok,
             "ok": self.ok,
+            "top_keys": [dict(row) for row in self.top_keys],
         }
 
 
@@ -503,12 +520,14 @@ class HashQualityDetector:
         """The scheme's band (unmonitored for unknown schemes)."""
         return self.bands.get(scheme, DriftBand())
 
-    def grade(self, scheme: str, balance: float,
-              concentration: float) -> DriftStatus:
+    def grade(self, scheme: str, balance: float, concentration: float,
+              top_keys: Sequence[Mapping[str, Any]] = ()) -> DriftStatus:
         """Grade one (balance, concentration) pair; records the trip.
 
         NaN values (an idle store) grade as inside-band: no traffic is
-        not drift.
+        not drift.  ``top_keys`` (heavy-hitter rows from the store)
+        ride the status and — on a trip — the journal event, naming
+        the keys behind the concentration.
         """
         band = self.band_for(scheme)
         balance_ok = not (math.isfinite(balance)
@@ -520,6 +539,7 @@ class HashQualityDetector:
             balance_max=band.balance_max,
             concentration_max=band.concentration_max,
             balance_ok=balance_ok, concentration_ok=concentration_ok,
+            top_keys=tuple(dict(row) for row in top_keys),
         )
         registry = self.registry
         registry.gauge("health.drift.ok", scheme=scheme).set(
@@ -537,16 +557,20 @@ class HashQualityDetector:
                              else band.balance_max),
                 concentration_max=(None
                                    if math.isinf(band.concentration_max)
-                                   else band.concentration_max))
+                                   else band.concentration_max),
+                top_keys=[dict(row) for row in status.top_keys])
         elif status.ok and was_tripped:
             del self._tripped[scheme]
             self.journal.emit("health.drift_recovered", scheme=scheme)
         return status
 
     def grade_telemetry(self, telemetry) -> DriftStatus:
-        """Grade a :class:`~repro.store.engine.StoreTelemetry` snapshot."""
+        """Grade a :class:`~repro.store.engine.StoreTelemetry` snapshot
+        (its ``top_keys`` heavy hitters, when present, name the keys
+        behind any trip)."""
         return self.grade(telemetry.scheme, telemetry.balance,
-                          telemetry.concentration)
+                          telemetry.concentration,
+                          top_keys=getattr(telemetry, "top_keys", ()))
 
     def evaluate(self) -> List[DriftStatus]:
         """Grade every scheme with a live ``store.balance`` gauge."""

@@ -88,6 +88,8 @@ KNOWN_EVENT_KINDS = frozenset({
     "health.alert_resolved",
     "health.drift_recovered",
     "health.drift_tripped",
+    "obs.exemplar_drop",
+    "obs.flight_dump",
     "reshard.commit",
     "reshard.migrate_chunk",
     "reshard.start",

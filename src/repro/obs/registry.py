@@ -113,9 +113,20 @@ class Histogram:
     a long-lived process reports *recent* latency, not its cold start
     averaged away (the same bounded-window reasoning as the store's
     concentration telemetry).
+
+    **Exemplars.** ``observe(value, exemplar=trace_id)`` retains the
+    trace id alongside the observation, in a deque sharing the window's
+    ``maxlen`` and appended in lockstep — so an exemplar is evicted at
+    the exact moment its observation leaves the window and can never
+    outlive its bucket.  This is what links a p99 quantile to a
+    concrete recorded trace (see :mod:`repro.obs.attrib`).  The first
+    time an exemplar-carrying observation is evicted, the histogram
+    journals one edge-triggered ``obs.exemplar_drop`` event;
+    ``exemplar_drops`` counts every such eviction.
     """
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max", "_window")
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "_window", "_exemplars", "exemplar_drops", "_drop_noted")
 
     kind = "histogram"
 
@@ -128,19 +139,46 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self._window: deque = deque(maxlen=window)
+        self._exemplars: deque = deque(maxlen=window)
+        self.exemplar_drops = 0
+        self._drop_noted = False
 
     @property
     def window(self) -> int:
         return self._window.maxlen
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         self.count += 1
         self.total += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
+        if (len(self._window) == self._window.maxlen
+                and self._exemplars and self._exemplars[0] is not None):
+            self._note_exemplar_drop()
         self._window.append(value)
+        self._exemplars.append(exemplar)
+
+    def _note_exemplar_drop(self) -> None:
+        """An exemplar-carrying observation just aged out of the
+        window.  Journaled once per histogram (edge-triggered) so a
+        busy series does not flood the journal."""
+        self.exemplar_drops += 1
+        if not self._drop_noted:
+            self._drop_noted = True
+            from repro.obs.journal import get_journal
+            get_journal().emit("obs.exemplar_drop", histogram=self.name,
+                               labels=dict(self.labels),
+                               window=self.window)
+
+    def exemplars(self, n: int = 4) -> List[Dict[str, Any]]:
+        """Largest-valued retained exemplars — the concrete traces
+        behind the tail quantiles, heaviest first."""
+        pairs = [(v, e) for v, e in zip(self._window, self._exemplars)
+                 if e is not None]
+        pairs.sort(key=lambda p: p[0], reverse=True)
+        return [{"value": v, "trace_id": e} for v, e in pairs[:n]]
 
     def percentile(self, q: float) -> float:
         """Windowed percentile ``q`` in [0, 100]; NaN when empty.
@@ -180,7 +218,7 @@ class Histogram:
 
     def as_dict(self) -> Dict[str, Any]:
         return {"name": self.name, "labels": dict(self.labels),
-                **self.summary()}
+                **self.summary(), "exemplars": self.exemplars()}
 
     def __repr__(self) -> str:
         return (f"Histogram({self.name!r}, {self.labels}, "
@@ -212,13 +250,16 @@ class NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         pass
 
     def percentile(self, q: float) -> float:
         return math.nan
 
     def window_values(self) -> List[float]:
+        return []
+
+    def exemplars(self, n: int = 4) -> List[Dict[str, Any]]:
         return []
 
     def summary(self) -> Dict[str, Any]:

@@ -21,11 +21,19 @@ Snapshot schema (version 1)::
         "counters":   [{"name", "labels", "value"}, ...],
         "gauges":     [{"name", "labels", "value"}, ...],
         "histograms": [{"name", "labels", "count", "sum", "min", "max",
-                        "mean", "p50", "p95", "p99", "window"}, ...]
+                        "mean", "p50", "p95", "p99", "window",
+                        "exemplars"}, ...]
       },
       "spans": [{"name", "labels", "start_s", "duration_s", "thread",
                  "depth", "parent"}, ...]   # depth-first; parent = index
     }
+
+``exemplars`` is additive within schema version 1 (readers of v1
+ignore unknown fields): a list of ``{"value", "trace_id"}`` pairs
+linking a histogram's tail to concrete recorded traces; validated when
+present.  :func:`to_prometheus` renders the same pairs as
+OpenMetrics-style exemplar suffixes (``... # {trace_id="..."} value``)
+on the quantile lines.
 
 NaNs (an empty histogram's percentiles, an idle store's balance) are
 serialized as ``null`` so the file is strict JSON.
@@ -124,6 +132,13 @@ def validate_snapshot(snapshot: Mapping) -> None:
                         f"histogram {row.get('name')!r} missing fields: "
                         f"{', '.join(lacking)}"
                     )
+                for ex in row.get("exemplars", []):
+                    if not isinstance(ex, Mapping) or "value" not in ex \
+                            or "trace_id" not in ex:
+                        raise ValueError(
+                            f"histogram {row.get('name')!r} exemplar must "
+                            f"carry value + trace_id: {ex}"
+                        )
             elif "value" not in row:
                 raise ValueError(f"{kind} entry missing 'value': {row}")
     if not isinstance(snapshot["spans"], list):
@@ -175,6 +190,18 @@ def _prom_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def _nearest_exemplar(exemplars: List[Dict[str, Any]],
+                      quantile_value: Any) -> Optional[Dict[str, Any]]:
+    """The retained exemplar closest in value to a quantile — the
+    concrete trace a scraper should follow for that bucket."""
+    if not exemplars:
+        return None
+    if not isinstance(quantile_value, (int, float)) \
+            or not math.isfinite(quantile_value):
+        return exemplars[0]
+    return min(exemplars, key=lambda ex: abs(ex["value"] - quantile_value))
+
+
 def to_prometheus(registry: MetricsRegistry) -> str:
     """Registry contents in Prometheus text exposition format.
 
@@ -205,11 +232,18 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         name = _prom_name(histogram.name)
         header(name, "summary")
         summary = histogram.summary()
+        exemplars = histogram.exemplars()
         for q, field in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
-            lines.append(
+            line = (
                 f"{name}{_prom_labels(histogram.labels, {'quantile': q})} "
                 f"{_prom_value(summary[field])}"
             )
+            exemplar = _nearest_exemplar(exemplars, summary[field])
+            if exemplar is not None:
+                line += (f' # {{trace_id="'
+                         f'{_prom_label_value(exemplar["trace_id"])}"}} '
+                         f'{_prom_value(exemplar["value"])}')
+            lines.append(line)
         lines.append(f"{name}_sum{_prom_labels(histogram.labels)} "
                      f"{_prom_value(summary['sum'])}")
         lines.append(f"{name}_count{_prom_labels(histogram.labels)} "

@@ -5,9 +5,13 @@ Usage::
     with trace_span("materialize", workload="tree"):
         ...
 
-Spans nest per *thread* (each thread keeps its own open-span stack, so
-the store driver's thread-pool chunks trace correctly side by side);
-finished roots accumulate on the tracer.  Two export shapes:
+Spans nest per *execution flow*: while a
+:class:`repro.obs.attrib.TraceContext` is active (via
+``attrib.activate``), parentage attaches to the context's own span
+stack — which follows the request across ``await`` boundaries and
+executor hops — and only falls back to a per-thread stack otherwise
+(the store driver's thread-pool chunks still trace side by side).
+Finished roots accumulate on the tracer.  Two export shapes:
 
 * :meth:`SpanTracer.flat` — a flat JSON-friendly list, one dict per
   span with ``depth``/``parent`` indices (the ``spans`` block of the
@@ -26,6 +30,8 @@ from __future__ import annotations
 import threading
 import time
 from typing import Any, Dict, List, Optional
+
+from repro.obs.attrib import current_trace
 
 __all__ = ["Span", "SpanTracer", "get_tracer", "set_tracer", "trace_span"]
 
@@ -120,6 +126,18 @@ class SpanTracer:
     # -- recording -----------------------------------------------------
 
     def _stack(self) -> List[Span]:
+        """The open-span stack for the current execution flow.
+
+        An active :class:`~repro.obs.attrib.TraceContext` owns the
+        stack: contextvars give each asyncio task (and each executor
+        run the context was activated in) its own view, so two tasks
+        interleaving on one worker thread cannot adopt each other's
+        spans — the per-thread stack is only the fallback for plain
+        threaded code with no trace in flight.
+        """
+        ctx = current_trace()
+        if ctx is not None:
+            return ctx.span_stack
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
@@ -131,7 +149,7 @@ class SpanTracer:
         stack = self._stack()
         if stack:
             stack[-1].children.append(span)
-        else:  # no open parent on this thread: a new root
+        else:  # no open parent in this flow: a new root
             with self._roots_lock:
                 self.roots.append(span)
         stack.append(span)
@@ -171,6 +189,30 @@ class SpanTracer:
         span.duration_s = duration_s
         with self._roots_lock:
             self.roots.append(span)
+
+    def record_trace(self, trace) -> Optional[Span]:
+        """Append a finished :class:`repro.obs.attrib.Trace` as a
+        back-dated span tree: one root for the request, one child per
+        recorded stage.  This is how a sampled request's causal
+        timeline lands in the ``spans`` snapshot block (and the
+        dashboard waterfall) without the context-manager nesting that
+        async code cannot use.  No-op while disabled."""
+        if not self.enabled:
+            return None
+        start = trace.start_s - self.epoch
+        thread = threading.current_thread().name
+        root = Span(f"trace.{trace.op}",
+                    {"trace_id": trace.trace_id, "scheme": trace.scheme,
+                     "status": trace.status}, start, thread)
+        root.duration_s = trace.wall_s
+        for stage in trace.stages:
+            child = Span(f"stage.{stage.name}", dict(stage.detail),
+                         start + stage.start_s, thread)
+            child.duration_s = stage.duration_s
+            root.children.append(child)
+        with self._roots_lock:
+            self.roots.append(root)
+        return root
 
     # -- export --------------------------------------------------------
 

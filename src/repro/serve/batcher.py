@@ -54,17 +54,26 @@ class BatchConfig:
 
 @dataclass
 class WorkItem:
-    """One queued request plus the future its response resolves."""
+    """One queued request plus the future its response resolves.
+
+    ``trace`` carries the submitting request's
+    :class:`repro.obs.attrib.TraceContext` (None when unsampled)
+    across the queue boundary: the executor runs in a *different*
+    asyncio task than the submitter, so the context cannot ride a
+    contextvar here — it rides the item, and the executor records
+    queue-wait / fault / store stages into it directly.
+    """
 
     request: Any
     future: asyncio.Future
     enqueued_s: float = 0.0
+    trace: Any = None
 
     @classmethod
-    def make(cls, request: Any) -> "WorkItem":
+    def make(cls, request: Any, trace: Any = None) -> "WorkItem":
         loop = asyncio.get_running_loop()
         return cls(request=request, future=loop.create_future(),
-                   enqueued_s=perf_counter())
+                   enqueued_s=perf_counter(), trace=trace)
 
 
 class Batcher:

@@ -129,31 +129,38 @@ class FaultInjector:
 
     # -- the hook the batcher awaits -----------------------------------
 
-    async def before_batch(self, queue_id: int) -> None:
+    async def before_batch(self, queue_id: int) -> float:
         """Apply any configured fault ahead of one batch execution.
 
         Stalls apply first (deterministic, targeted), then the seeded
         probabilistic delay and error draws.  Raising here fails the
         whole batch; the frontend's retry policy decides what happens
-        to each request in it.
+        to each request in it.  Returns the seconds of sleep it
+        *requested* — the frontend's trace attribution measures the
+        actual elapsed wall for the ``fault`` stage, and the return
+        value lets tests assert the two agree.
         """
+        requested = 0.0
         if queue_id in self.stalled_shards:
             self.injected["stall"] += 1
             get_journal().emit("serve.fault.stall", queue_id=queue_id,
                                stall_s=self.stall_s,
                                count=self.injected["stall"])
+            requested += self.stall_s
             await asyncio.sleep(self.stall_s)
         if (self.delay_probability > 0.0
                 and self._rng.random() < self.delay_probability):
             self.injected["delay"] += 1
             get_journal().emit("serve.fault.delay", queue_id=queue_id,
                                delay_s=self.delay_s)
+            requested += self.delay_s
             await asyncio.sleep(self.delay_s)
         if (self.error_probability > 0.0
                 and self._rng.random() < self.error_probability):
             self.injected["error"] += 1
             get_journal().emit("serve.fault.error", queue_id=queue_id)
             raise InjectedFault(f"injected error on queue {queue_id}")
+        return requested
 
     def stats(self) -> Dict[str, int]:
         """Injected-fault counts (JSON-friendly)."""

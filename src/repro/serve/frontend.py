@@ -37,7 +37,18 @@ Instrumentation (all through :mod:`repro.obs`, free when disabled):
 ``serve.timeouts``/``serve.errors``/``serve.dropped`` counters,
 ``serve.latency_s`` and ``serve.batch_size`` histograms,
 ``serve.queue_depth`` gauge, synchronous ``serve.batch`` spans, and
-1-in-``span_every`` sampled ``serve.request`` spans.
+1-in-``span_every`` sampled ``serve.request`` traces: when the
+process-wide :class:`~repro.obs.attrib.TraceCollector` is enabled, a
+sampled request carries a :class:`~repro.obs.attrib.TraceContext`
+through the whole pipeline and yields a causal stage timeline —
+``admit`` (admission + routing), ``queue`` (enqueue → batch pickup),
+``fault`` (injected delay/stall), ``serialize`` (head-of-line wait
+within the batch), ``store`` (the backend op), ``settle`` (future set
+→ submitter resumed), ``timeout`` (an abandoned attempt's measured
+wait) and ``backoff`` (retry sleeps).  The finished trace feeds the
+critical-path analyzer and flight recorder, its ``trace_id`` is
+attached to the ``serve.latency_s`` observation as an exemplar, and
+it is mirrored into the span tracer as a waterfall.
 """
 
 from __future__ import annotations
@@ -49,6 +60,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs import (
     MetricsRegistry,
+    get_collector,
     get_journal,
     get_registry,
     get_tracer,
@@ -256,6 +268,18 @@ class Frontend:
         """In-flight requests (queued + executing)."""
         return self._pending
 
+    def _maybe_trace(self, op: str, key) -> Optional[Any]:
+        """A TraceContext for 1-in-``span_every`` requests while the
+        process-wide collector is enabled; None otherwise."""
+        if not self._span_every:
+            return None
+        if (self.counts["requests"] - 1) % self._span_every != 0:
+            return None
+        collector = get_collector()
+        if not collector.enabled:
+            return None
+        return collector.begin(op, scheme=self.store.scheme, key=str(key))
+
     async def submit(self, request) -> Response:
         """Serve one request end to end; always returns a Response."""
         start = perf_counter()
@@ -265,26 +289,33 @@ class Frontend:
         counter = self._req_counters.get(op)
         if counter is not None:
             counter.inc()
+        ctx = self._maybe_trace(op, key)
         reason = self.admission.admit(self._pending)
         if reason is not None:
             self.counts["rejected"] += 1
             self._reject_counters[reason].inc()
             get_journal().emit("serve.admission_reject", op=op,
                                reason=reason, pending=self._pending)
+            if ctx is not None:
+                ctx.stage_since("admit", start, reason=reason)
             return self._finish(Response(
                 op=op, key=key, status="rejected", reason=reason,
-                latency_s=perf_counter() - start))
+                latency_s=perf_counter() - start), ctx)
         if op == "simulate":
             if self._simulate_fn is None:
                 self.counts["errors"] += 1
                 self._error_counter.inc()
+                if ctx is not None:
+                    ctx.stage_since("admit", start)
                 return self._finish(Response(
                     op=op, key=key, status="error",
                     reason="no simulator configured",
-                    latency_s=perf_counter() - start))
+                    latency_s=perf_counter() - start), ctx)
             sim = True
         else:
             sim = False
+        if ctx is not None:
+            ctx.stage_since("admit", start)
         retries = 0
         while True:
             # Routing is re-resolved every attempt: a reshard may have
@@ -294,7 +325,7 @@ class Frontend:
                 batcher, queue_id = self._sim_batcher, 0
             else:
                 batcher, queue_id = self._route(key)
-            item = WorkItem.make(request)
+            item = WorkItem.make(request, trace=ctx)
             self._pending += 1
             if self._pending > self.peak_queue_depth:
                 self.peak_queue_depth = self._pending
@@ -305,8 +336,12 @@ class Frontend:
                                                self.policy.timeout_s)
             except asyncio.TimeoutError:
                 # wait_for cancelled the future; the batcher will skip
-                # the abandoned item when its batch comes up.
+                # the abandoned item when its batch comes up (and the
+                # finished trace rejects its late stage appends).
                 failure = "timeout"
+                if ctx is not None:
+                    ctx.stage_since("timeout", item.enqueued_s,
+                                    attempt=retries)
             except FrontendStopped as exc:
                 self.counts["dropped"] += 1
                 self._dropped_counter.inc()
@@ -314,15 +349,23 @@ class Frontend:
                                    retries=retries)
                 return self._finish(Response(
                     op=op, key=key, status="dropped", reason=str(exc),
-                    retries=retries, latency_s=perf_counter() - start))
+                    retries=retries, latency_s=perf_counter() - start), ctx)
             except Exception as exc:
                 failure = "error"
                 detail = f"{type(exc).__name__}: {exc}"
+                if ctx is not None:
+                    settled = ctx.marks.get("op_end")
+                    if settled is not None:
+                        ctx.stage_since("settle", settled, attempt=retries)
             else:
                 self.counts["ok"] += 1
+                if ctx is not None:
+                    settled = ctx.marks.get("op_end")
+                    if settled is not None:
+                        ctx.stage_since("settle", settled, attempt=retries)
                 return self._finish(Response(
                     op=op, key=key, status="ok", value=value,
-                    retries=retries, latency_s=perf_counter() - start))
+                    retries=retries, latency_s=perf_counter() - start), ctx)
             if retries >= self.policy.max_retries:
                 if failure == "timeout":
                     self.counts["timeouts"] += 1
@@ -338,11 +381,14 @@ class Frontend:
                                        retries=retries, detail=detail)
                 return self._finish(Response(
                     op=op, key=key, status=failure, reason=detail,
-                    retries=retries, latency_s=perf_counter() - start))
+                    retries=retries, latency_s=perf_counter() - start), ctx)
             retries += 1
             self.counts["retries"] += 1
             self._retry_counter.inc()
+            backoff_from = perf_counter()
             await asyncio.sleep(self.policy.backoff_s(retries))
+            if ctx is not None:
+                ctx.stage_since("backoff", backoff_from, attempt=retries)
 
     # -- epoch-aware routing -------------------------------------------
 
@@ -422,18 +468,43 @@ class Frontend:
             self._queue_gauge.set(self._pending)
         if not live:
             return
+        traced = [item for item in live if item.trace is not None]
+        if traced:
+            pickup = perf_counter()
+            for item in traced:
+                item.trace.stage("queue", item.enqueued_s,
+                                 pickup - item.enqueued_s, shard=shard_id)
         if self.injector is not None:
+            fault_from = perf_counter()
             try:
                 await self.injector.before_batch(shard_id)
             except InjectedFault as exc:
+                failed = perf_counter()
                 for item in live:
+                    ctx = item.trace
+                    if ctx is not None:
+                        ctx.stage("fault", fault_from, failed - fault_from,
+                                  shard=shard_id, injected="error")
+                        ctx.mark("op_end", failed)
                     if not item.future.done():
                         item.future.set_exception(exc)
                 return
+            if traced:
+                cleared = perf_counter()
+                for item in traced:
+                    item.trace.stage("fault", fault_from,
+                                     cleared - fault_from, shard=shard_id)
         with trace_span("serve.batch", shard=shard_id, size=len(live)):
             store = self.store
+            batch_from = perf_counter()
             for item in live:
                 request = item.request
+                ctx = item.trace
+                op_from = perf_counter()
+                if ctx is not None:
+                    # head-of-line wait: earlier items' ops in this batch
+                    ctx.stage("serialize", batch_from, op_from - batch_from,
+                              shard=shard_id)
                 try:
                     if request.op == "get":
                         value = store.get(request.key)
@@ -445,9 +516,17 @@ class Frontend:
                         raise ValueError(
                             f"unknown request op {request.op!r}")
                 except Exception as exc:
+                    if ctx is not None:
+                        done = ctx.mark("op_end")
+                        ctx.stage("store", op_from, done - op_from,
+                                  op=request.op, shard=shard_id)
                     if not item.future.done():
                         item.future.set_exception(exc)
                 else:
+                    if ctx is not None:
+                        done = ctx.mark("op_end")
+                        ctx.stage("store", op_from, done - op_from,
+                                  op=request.op, shard=shard_id)
                     if not item.future.done():
                         item.future.set_result(value)
 
@@ -461,14 +540,32 @@ class Frontend:
             self._queue_gauge.set(self._pending)
         if not live:
             return
+        traced = [item for item in live if item.trace is not None]
+        if traced:
+            pickup = perf_counter()
+            for item in traced:
+                item.trace.stage("queue", item.enqueued_s,
+                                 pickup - item.enqueued_s, shard=SIM_QUEUE)
         if self.injector is not None:
+            fault_from = perf_counter()
             try:
                 await self.injector.before_batch(SIM_QUEUE)
             except InjectedFault as exc:
+                failed = perf_counter()
                 for item in live:
+                    ctx = item.trace
+                    if ctx is not None:
+                        ctx.stage("fault", fault_from, failed - fault_from,
+                                  shard=SIM_QUEUE, injected="error")
+                        ctx.mark("op_end", failed)
                     if not item.future.done():
                         item.future.set_exception(exc)
                 return
+            if traced:
+                cleared = perf_counter()
+                for item in traced:
+                    item.trace.stage("fault", fault_from,
+                                     cleared - fault_from, shard=SIM_QUEUE)
         # Dedupe identical cells: one simulation serves every waiter.
         groups: Dict[Any, List[WorkItem]] = {}
         for item in live:
@@ -477,26 +574,46 @@ class Frontend:
                               []).append(item)
         loop = asyncio.get_running_loop()
         for (workload, scheme), waiters in groups.items():
+            op_from = perf_counter()
             try:
                 value = await loop.run_in_executor(
                     None, self._simulate_fn, workload, scheme)
             except Exception as exc:
+                self._stage_sim_op(waiters, op_from)
                 for item in waiters:
                     if not item.future.done():
                         item.future.set_exception(exc)
             else:
+                self._stage_sim_op(waiters, op_from)
                 for item in waiters:
                     if not item.future.done():
                         item.future.set_result(value)
 
+    @staticmethod
+    def _stage_sim_op(waiters: List[WorkItem], op_from: float) -> None:
+        for item in waiters:
+            ctx = item.trace
+            if ctx is not None:
+                done = ctx.mark("op_end")
+                ctx.stage("store", op_from, done - op_from, op="simulate")
+
     # -- accounting ----------------------------------------------------
 
-    def _finish(self, response: Response) -> Response:
+    def _finish(self, response: Response, ctx=None) -> Response:
         if self._observed:
             histogram = self._latency.get(response.op)
             if histogram is not None:
-                histogram.observe(response.latency_s)
+                histogram.observe(
+                    response.latency_s,
+                    exemplar=None if ctx is None else ctx.trace_id)
             self._queue_gauge.set(self._pending)
+        if ctx is not None:
+            trace = get_collector().finish(ctx, status=response.status,
+                                           wall_s=response.latency_s)
+            tracer = get_tracer()
+            if trace is not None and tracer.enabled:
+                tracer.record_trace(trace)
+            return response
         if self._span_every:
             self._finished += 1
             if self._finished % self._span_every == 0:

@@ -46,13 +46,18 @@ from typing import Any, Dict, Iterable, List, NamedTuple, Optional
 import numpy as np
 
 from repro.hashing.analysis import balance_from_counts, concentration_from_sets
-from repro.obs import MetricsRegistry, get_journal, get_registry
+from repro.obs import HeavyHitterTracker, MetricsRegistry, get_journal, \
+    get_registry
 from repro.store.routing import RoutingTable
 from repro.store.selector import ShardSelector, StoreKey, canonical_key
 from repro.store.shard import Shard
 
 #: Default shard-access window the telemetry metrics are computed over.
 DEFAULT_TELEMETRY_WINDOW = 1 << 16
+
+#: How many heavy-hitter keys the observed store tracks (space-saving
+#: top-K; O(K) memory regardless of traffic).
+DEFAULT_HOT_KEYS = 8
 
 #: Sentinel distinguishing "not stored" from a stored ``None``.
 _MISS = object()
@@ -96,6 +101,9 @@ class StoreTelemetry:
     tail_load: float  #: max per-shard accesses / ideal per-shard share
     epoch: int = 0
     shard_accesses: List[int] = field(default_factory=list)
+    #: Space-saving top-K routed keys (``{"key","count","error","where"}``
+    #: rows, heaviest first); empty while the store is unobserved.
+    top_keys: List[Dict[str, Any]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serializable payload (artifact / benchmark friendly)."""
@@ -115,6 +123,7 @@ class StoreTelemetry:
             "tail_load": self.tail_load,
             "epoch": self.epoch,
             "shard_accesses": list(self.shard_accesses),
+            "top_keys": list(self.top_keys),
         }
 
 
@@ -161,6 +170,10 @@ class ShardedStore:
         # per-request perf_counter calls.
         self._registry = get_registry() if registry is None else registry
         self._observed = self._registry.enabled
+        # Heavy-hitter tracking rides the observed path only, so the
+        # unobserved serving path stays free of the sketch update.
+        self._hitters = (HeavyHitterTracker(k=DEFAULT_HOT_KEYS)
+                         if self._observed else None)
         self._bind_instruments()
 
     def _build_shards(self, n_shards: int) -> List[Shard]:
@@ -271,6 +284,7 @@ class ShardedStore:
         if not self._observed:
             value = self._get(state, shard_id, canonical)
             return default if value is _MISS else value
+        self._hitters.offer(key, shard_id)
         start = perf_counter()
         value = self._get(state, shard_id, canonical)
         self._record(state, shard_id, "get", perf_counter() - start)
@@ -295,6 +309,7 @@ class ShardedStore:
             self._window.append(shard_id)
         if not self._observed:
             return self._put(state, shard_id, canonical, value)
+        self._hitters.offer(key, shard_id)
         start = perf_counter()
         evicted = self._put(state, shard_id, canonical, value)
         self._record(state, shard_id, "put", perf_counter() - start)
@@ -318,6 +333,7 @@ class ShardedStore:
             self._window.append(shard_id)
         if not self._observed:
             return self._delete(state, shard_id, canonical)
+        self._hitters.offer(key, shard_id)
         start = perf_counter()
         deleted = self._delete(state, shard_id, canonical)
         self._record(state, shard_id, "delete", perf_counter() - start)
@@ -499,6 +515,15 @@ class ShardedStore:
             window = np.array(self._window, dtype=np.int64)
         return concentration_from_sets(window, self.n_shards)
 
+    def heavy_hitters(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Space-saving top-K routed keys with their last shard
+        (heaviest first); empty while the store is unobserved.  This is
+        the per-key view the aggregate Eq. 1 / Eq. 2 gauges smear away
+        — a concentration alarm can name the keys causing the pileup."""
+        if self._hitters is None:
+            return []
+        return self._hitters.top(n)
+
     def telemetry(self) -> StoreTelemetry:
         """Snapshot every counter plus the two paper metrics."""
         state = self._state
@@ -527,6 +552,7 @@ class ShardedStore:
             tail_load=float(counts.max() / ideal_share) if ideal_share else 0.0,
             epoch=state.table.epoch_id,
             shard_accesses=counts.tolist(),
+            top_keys=self.heavy_hitters(),
         )
         if self._observed:
             self._publish_telemetry(telemetry)

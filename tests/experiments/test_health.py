@@ -50,12 +50,32 @@ class TestChecksLogic:
                 "post_alerts": [{"window": "slow",
                                  "slo": "serve-p99-latency"}],
             },
+            flight_events=[{"fields": {
+                "reason": "slo:serve-p99-latency:fast",
+                "slowest": {"trace_id": "t01", "wall_s": 0.05,
+                            "coverage": 0.97,
+                            "stages": [{"name": "queue", "start_s": 0.0,
+                                        "duration_s": 0.0485}]},
+            }}],
         )
 
     def test_all_hold_on_the_contract_scenario(self):
         checks = health.health_checks(**self.base())
         assert all(checks.values())
-        assert len(checks) == 10
+        assert len(checks) == 12
+
+    def test_missing_flight_dump_fails(self):
+        kwargs = self.base()
+        kwargs["flight_events"] = []
+        checks = health.health_checks(**kwargs)
+        assert not checks["flight_dump_journaled"]
+        assert not checks["flight_waterfall_complete"]
+
+    def test_incomplete_waterfall_fails(self):
+        kwargs = self.base()
+        kwargs["flight_events"][0]["fields"]["slowest"]["coverage"] = 0.4
+        assert not health.health_checks(
+            **kwargs)["flight_waterfall_complete"]
 
     def test_noisy_healthy_phase_fails(self):
         kwargs = self.base()
@@ -140,7 +160,8 @@ class TestRun:
         assert "SLO burn rates" in text
         assert "Hash-quality drift" in text
         assert "journal chain (seq):" in text
-        assert "Health contract: ok (10/10 checks hold)" in text
+        assert "Health contract: ok (12/12 checks hold)" in text
+        assert "flight recorder:" in text
         assert "remediation: actions=['quarantine']" in text
         assert "TRIPPED" in text  # traditional's row
 

@@ -58,7 +58,7 @@ class TestDeclaredSchema:
 
         journal = Journal()
         set_journal(journal)
-        journal.emit("parity.probe")
+        journal.emit("experiment.start")  # a registered probe kind
         engine = SloEngine(default_slos(), registry=registry,
                            journal=journal)
         engine.evaluate()

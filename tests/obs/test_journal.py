@@ -217,7 +217,7 @@ class TestGlobals:
         journal = enable_journal(tmp_path / "j.jsonl")
         assert get_journal() is journal
         assert journal.enabled
-        journal.emit("e")
+        journal.emit("experiment.start")
         assert (tmp_path / "j.jsonl").exists()
         disable_journal()
         assert get_journal().enabled is False
