@@ -5,7 +5,7 @@ JOBS ?= 4
 SCALE ?= 1.0
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test verify bench store-bench obs-check serve-check serve-bench health-check trace-check reshard-check reshard-bench cluster-check cluster-bench bench-check dash eval figures report examples clean
+.PHONY: install test verify bench store-bench obs-check serve-check serve-bench health-check trace-check reshard-check reshard-bench cluster-check cluster-bench adversary-check adversary-bench bench-check dash eval figures report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -20,6 +20,7 @@ verify:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.reshard --check
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cluster --check
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.adversary --check
 	$(MAKE) trace-check
 	PYTHONPATH=src $(PYTHON) -m repro.obs.benchguard --no-update
 
@@ -87,6 +88,19 @@ cluster-check:
 # BENCH_cluster.json at the root.
 cluster-bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_cluster.py -q -s
+
+# Attack/defense drill: black-box cracks per scheme, hostile-trace
+# page, keyed rotation; exits nonzero unless the adversary contract
+# holds (exact linear recovery, >=5x prime probe cost, zero-loss
+# rotation back to green).
+adversary-check:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.adversary --check
+
+# Attack-economics benchmark: probes-to-crack per scheme and wall-time
+# from adversarial page to journaled mitigation; writes
+# BENCH_adversary.json at the root.
+adversary-bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_adversary.py -q -s
 
 # Bench-regression gate: compare the current BENCH_*.json headline
 # metrics against the BENCH_history.json trajectory (median of prior

@@ -1,0 +1,131 @@
+"""Attack economics and defense latency: the adversary benchmark.
+
+Records the headline security numbers: black-box probes to crack each
+scheme (deterministic counts — the attack-cost curve), the prime/linear
+probe factor, and the wall-clock time from adversarial page to
+journaled mitigation on a keyed store (detect -> rotate -> migrate ->
+re-grade clean).
+
+Emits ``BENCH_adversary.json`` at the repo root — the machine-readable
+record future PRs regress probe-resistance and mitigation latency
+against (gated by ``repro.obs.benchguard`` via ``make bench-check``).
+"""
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.control import KeyRotator, RemediationController
+from repro.experiments.adversary import DEFAULT_SCHEMES, attack_cell
+from repro.obs import (
+    Journal,
+    disable_observability,
+    enable_observability,
+    get_registry,
+)
+from repro.obs.health import HashQualityDetector, SloEngine
+from repro.store import ShardedStore
+
+N_SHARDS = 16
+KEY_BITS = 16
+CRACK_KEYS = 256
+HOSTILE_REQUESTS = 4000
+FLOOD_PER_ROUND = 640
+RESIDENT_KEYS = 200
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_adversary.json"
+
+
+def _time_to_mitigate() -> float:
+    """Wall seconds from first flood request to ``adversary.mitigated``.
+
+    The full defended loop at speed: flood the victim shard until the
+    page fires, let the controller rotate the secret and run the epoch
+    migration, resume normal traffic, and stop the clock when the
+    mitigation lands on the journal.
+    """
+    journal = Journal()
+    store = ShardedStore(n_shards=N_SHARDS, scheme="keyed_pdisp",
+                         shard_capacity=512)
+    detector = HashQualityDetector(journal=journal)
+    controller = RemediationController(
+        store, SloEngine([], journal=journal), detector=detector,
+        journal=journal, rotator=KeyRotator(store, seed=0,
+                                            journal=journal))
+    for i in range(RESIDENT_KEYS):
+        store.put(i * 1009 + 3, i)
+    controller.step()
+
+    victim = store.shard_for(12345)
+    universe = np.arange(1 << 14, dtype=np.uint64)
+    hot = [int(k) for k in
+           universe[store.routing.shard_array(universe) == victim][:16]]
+    started = perf_counter()
+    for _ in range(8):
+        for i in range(FLOOD_PER_ROUND):
+            store.get(hot[i % len(hot)])
+        controller.step()
+        if journal.find("adversary.mitigated"):
+            break
+        if any(e.kind == "control.key_rotation" for e in journal.tail()):
+            # Rotation applied; clean traffic lets the alarm re-grade.
+            for i in range(2000):
+                store.get((i * 2654435761) & 0xFFFF)
+    assert journal.find("adversary.mitigated"), "drill never mitigated"
+    return perf_counter() - started
+
+
+def test_adversary_attack_and_defense(benchmark):
+    was_enabled = get_registry().enabled
+    if not was_enabled:
+        enable_observability()
+    try:
+        cells = {
+            scheme: attack_cell(scheme, n_shards=N_SHARDS,
+                                key_bits=KEY_BITS, crack_keys=CRACK_KEYS,
+                                hostile_requests=HOSTILE_REQUESTS, seed=0)
+            for scheme in DEFAULT_SCHEMES
+        }
+        time_to_mitigate_s = benchmark(_time_to_mitigate)
+    finally:
+        if not was_enabled:
+            disable_observability()
+
+    print()
+    for scheme, cell in cells.items():
+        crack = cell["crack"]
+        print(f"  {scheme:<12} {crack['method']:>10} "
+              f"probes {crack['probes']:>6} "
+              f"hostile tail {cell['hostile']['tail_load']:>6.2f}")
+    print(f"  time to mitigate: {time_to_mitigate_s * 1e3:.1f} ms")
+
+    probes = {scheme: cell["crack"]["probes"]
+              for scheme, cell in cells.items()}
+    linear_max = max(probes["traditional"], probes["xor"])
+    prime_min = min(probes["pmod"], probes["pdisp"])
+    payload = {
+        "bench": "adversary",
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "n_shards": N_SHARDS,
+        "key_bits": KEY_BITS,
+        "crack_keys": CRACK_KEYS,
+        "probes_to_crack": probes,
+        "probe_factor": prime_min / linear_max,
+        "time_to_mitigate_s": time_to_mitigate_s,
+        "hostile_tail_load": {scheme: cell["hostile"]["tail_load"]
+                              for scheme, cell in cells.items()},
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {BENCH_PATH}")
+
+    # The attack-economics contract, asserted on the measured counts.
+    assert cells["traditional"]["crack"]["method"] == "gf2"
+    assert cells["xor"]["crack"]["method"] == "gf2"
+    assert cells["pmod"]["crack"]["method"] == "bucketing"
+    assert cells["pdisp"]["crack"]["method"] == "bucketing"
+    assert prime_min >= 5.0 * linear_max
+    assert probes["keyed"] >= 5.0 * linear_max

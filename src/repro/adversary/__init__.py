@@ -1,0 +1,53 @@
+"""`repro.adversary` — black-box hash cracking against the serve stack.
+
+The paper eliminates *accidental* conflict misses; this subsystem asks
+what a *deliberate* adversary can do.  Following the probe attack of
+"Cracking Intel Sandy Bridge's Cache Hash Function" (PAPERS.md), an
+attacker who can only issue requests through the
+:class:`~repro.serve.Frontend` — no access to the store, the routing
+table, or the scheme internals — learns the key→shard map from the
+timing side channel the serving fabric cannot help exposing: requests
+for the *same* shard coalesce into one batch, and a batched request's
+deterministic virtual-clock ``Response.service_time_s`` grows with its
+batch position.
+
+* :class:`ConflictOracle` — turns that co-batching signal into a
+  yes/no conflict test: burst B copies of one key plus a probe key in
+  a single co-submitted gather; the probe drains at batch position
+  B+1 iff both keys route to the same shard.
+* :class:`ProbeAdversary` — drives the oracle through a full crack:
+  representative discovery (one key per shard equivalence class),
+  then **exact reconstruction** for GF(2)-linear schemes (traditional
+  and pow2-XOR fall to ~n + key_bits classifications, verified on
+  held-out keys) with a **statistical bucketing** fallback that prime
+  schemes (pMod / pDisp) force — per-key classification at ~n/2
+  conflict tests each, which is where their ≥5× probe cost comes from.
+* :func:`synthesize_hostile_trace` — emits worst-case traffic from a
+  crack: a small recycled key set all routing to one victim shard,
+  driving Eq. 1 balance and Eq. 2 concentration to their pathological
+  corner on *any* unkeyed scheme.
+
+The same attacker pointed at a :class:`~repro.serve.Frontend` over a
+:class:`~repro.cluster.Cluster` (which batches per *node*) learns the
+key→node map with zero extra code.
+
+The defense lives where it belongs: keyed schemes in
+:mod:`repro.hashing.keyed`, the adversarial-drift alarm in
+:class:`repro.obs.health.HashQualityDetector`, and the
+:class:`~repro.control.KeyRotator` the controller fires to rotate the
+secret through an epoch migration.  ``python -m repro.experiments
+adversary`` runs attack → detection → rotation end to end.
+"""
+
+from repro.adversary.hostile import HostileTrace, synthesize_hostile_trace
+from repro.adversary.oracle import ConflictOracle
+from repro.adversary.probe import CrackResult, ProbeAdversary, run_crack
+
+__all__ = [
+    "ConflictOracle",
+    "CrackResult",
+    "HostileTrace",
+    "ProbeAdversary",
+    "run_crack",
+    "synthesize_hostile_trace",
+]

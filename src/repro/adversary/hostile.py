@@ -1,0 +1,71 @@
+"""Worst-case traffic synthesis from a finished crack.
+
+A crack's value is the traffic it enables: pick one victim class and
+emit a request stream whose every key routes there.  On the receiving
+store this drives Eq. 1 balance toward ``n_shards`` (all load on one
+shard) and Eq. 2 concentration toward its pathological maximum —
+the exact quantities the paper's Figure 5 shows prime indexing keeping
+near-ideal on *accidental* structure, manufactured here on purpose.
+The stream deliberately recycles a small distinct-key set: that is
+what makes it cheap to synthesize *and* what the adversarial-drift
+alarm (:meth:`repro.obs.health.HashQualityDetector.grade_adversary`)
+keys on — a hot shard whose heavy-hitter top-K explains the load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.adversary.probe import CrackResult
+from repro.obs import MetricsRegistry, get_registry
+from repro.store.traffic import Request
+
+__all__ = ["HostileTrace", "synthesize_hostile_trace"]
+
+
+@dataclass(frozen=True)
+class HostileTrace:
+    """One synthesized attack stream and the class it targets."""
+
+    requests: List[Request]
+    target_class: int
+    keys: List[int]  #: the distinct keys being recycled
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def synthesize_hostile_trace(result: CrackResult, n_requests: int,
+                             target_class: Optional[int] = None,
+                             distinct_keys: int = 16, op: str = "get",
+                             registry: Optional[MetricsRegistry] = None,
+                             ) -> HostileTrace:
+    """Emit ``n_requests`` all routing to one shard class of ``result``.
+
+    ``target_class`` defaults to the class with the most known keys
+    (for a verified GF(2) model any class works — keys are generated
+    on demand).  ``distinct_keys`` bounds the recycled key set; ``op``
+    is ``"get"`` or ``"put"`` (puts also pile *occupancy* onto the
+    victim shard, not just load).
+    """
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if op not in ("get", "put"):
+        raise ValueError(f"op must be 'get' or 'put', got {op!r}")
+    if target_class is None:
+        target_class = result.largest_class()
+    keys = result.keys_for_class(target_class, limit=max(1, distinct_keys))
+    if not keys:
+        raise ValueError(
+            f"crack knows no keys for class {target_class}; pick one of "
+            f"{sorted(result.buckets)}")
+    requests = [
+        Request(op, keys[i % len(keys)],
+                value=i if op == "put" else None)
+        for i in range(n_requests)
+    ]
+    registry = get_registry() if registry is None else registry
+    registry.counter("adversary.hostile_requests").inc(len(requests))
+    return HostileTrace(requests=requests, target_class=target_class,
+                        keys=keys)

@@ -1,0 +1,99 @@
+"""The timing/conflict oracle: co-batching as a side channel.
+
+The serving fabric coalesces same-shard requests into batches
+(:class:`~repro.serve.batcher.Batcher`) and charges each batched item a
+deterministic virtual-clock service time proportional to its batch
+position (:data:`~repro.serve.frontend.VIRTUAL_TICK_S`).  That is
+exactly a cache bank-conflict timing channel: co-submit B copies of a
+*reference* key and then a *probe* key, and the probe's service time
+reads B+1 ticks iff the two keys share a shard (one batch, probe
+last), 1 tick otherwise (its own singleton batch).
+
+The submission order is load-bearing and deterministic: asyncio
+schedules the co-submitted tasks in creation order, and each enqueues
+synchronously before yielding, so the whole burst is queued before any
+batcher worker wakes — one batch per touched shard, positions in
+submission order, reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Sequence
+
+from repro.obs import MetricsRegistry, get_registry
+from repro.serve.frontend import VIRTUAL_TICK_S, Frontend
+
+__all__ = ["ConflictOracle", "OracleError"]
+
+
+class OracleError(RuntimeError):
+    """The frontend violated the oracle's setup contract (e.g. a probe
+    burst was rejected by admission — the timing read is then void)."""
+
+
+class ConflictOracle:
+    """Black-box same-shard tests against a started :class:`Frontend`.
+
+    Args:
+        frontend: the (already started) serving frontend under attack.
+            Its batcher must coalesce at least ``reps + 1`` items and
+            its admission must not throttle the burst, else the timing
+            read is void (checked, not assumed).
+        reps: reference copies per conflict test.  More copies widen
+            the timing gap between "own batch" (1 tick) and "shared
+            batch" (reps+1 ticks); 3 is plenty for a virtual clock.
+        registry: metrics override (defaults to the global registry).
+
+    Every issued request counts into ``adversary.probes``; every
+    resolved same-shard question into ``adversary.conflict_tests``.
+    """
+
+    def __init__(self, frontend: Frontend, reps: int = 3,
+                 registry: Optional[MetricsRegistry] = None):
+        if reps < 1:
+            raise ValueError("reps must be >= 1")
+        max_batch = frontend._batch_config.max_batch_size
+        if max_batch < reps + 1:
+            raise ValueError(
+                f"oracle needs max_batch_size >= {reps + 1} to co-batch "
+                f"a burst, frontend has {max_batch}")
+        self.frontend = frontend
+        self.reps = reps
+        self.probes = 0
+        self.conflict_tests = 0
+        registry = get_registry() if registry is None else registry
+        self._probe_counter = registry.counter("adversary.probes")
+        self._test_counter = registry.counter("adversary.conflict_tests")
+
+    async def batch_positions(self, keys: Sequence[int]) -> List[int]:
+        """Co-submit one ``get`` per key; return each batch position.
+
+        Positions are in virtual ticks (1 = first item of its batch);
+        two keys shared a shard iff their positions differ within one
+        burst.  Raises :class:`OracleError` if any response is not
+        ``ok`` — a throttled burst yields no timing information.
+        """
+        responses = await asyncio.gather(
+            *(self.frontend.get(key) for key in keys))
+        self.probes += len(keys)
+        self._probe_counter.inc(len(keys))
+        for response in responses:
+            if not response.ok:
+                raise OracleError(
+                    f"probe burst not served cleanly: {response.status} "
+                    f"({response.reason})")
+        return [round(r.service_time_s / VIRTUAL_TICK_S)
+                for r in responses]
+
+    async def colocated(self, probe_key: int, reference_key: int) -> bool:
+        """Whether ``probe_key`` routes to ``reference_key``'s shard."""
+        positions = await self.batch_positions(
+            [reference_key] * self.reps + [probe_key])
+        self.conflict_tests += 1
+        self._test_counter.inc()
+        return positions[-1] >= self.reps + 1
+
+    def __repr__(self) -> str:
+        return (f"ConflictOracle(reps={self.reps}, probes={self.probes}, "
+                f"tests={self.conflict_tests})")

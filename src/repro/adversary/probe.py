@@ -1,0 +1,300 @@
+"""The probe adversary: learn the key→shard map through the serve API.
+
+The crack runs in phases, each journaled as ``adversary.probe_phase``:
+
+1. **Representative discovery** — walk keys 0, 1, 2, ... testing each
+   against the representatives found so far; a key colocated with none
+   of them founds a new shard equivalence class.  For the paper's
+   public schemes the first ``n_shards`` keys already cover every
+   class (tag 0 ⇒ the index bits *are* the key), so this costs
+   ~n²/2 conflict tests.
+2. **GF(2) solve** — hypothesize the map is linear over GF(2), the
+   structure the Sandy Bridge attack exploited: classify the basis
+   keys ``2^i`` and predict ``H(k) = H(0) ⊕ ⊕_{bit i of k}(H(2^i) ⊕
+   H(0))`` (labels are representative keys, which for a linear map lie
+   in the label space the XOR runs over).  Verified against held-out
+   random keys; traditional and pow2-XOR pass and are **exactly
+   recovered** — every future key is predicted offline, no more
+   probes.  pMod's carry chain and pDisp's multiply are not
+   GF(2)-linear, so verification fails fast.
+3. **Bucketing fallback** — with no algebraic shortcut, every key the
+   attack cares about must be classified *individually* (~n/2 conflict
+   tests each).  This still cracks pMod/pDisp — nothing public
+   survives probing — but at a probe bill ≥5× the linear schemes',
+   which is precisely the "how long do the prime schemes hold"
+   measurement the ``adversary`` experiment reports.
+
+Keyed schemes (:mod:`repro.hashing.keyed`) change the economics, not
+the mechanics: bucketing still learns per-key facts, but a
+:class:`~repro.control.KeyRotator` epoch rotation invalidates the
+entire learned table at once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs import Journal, MetricsRegistry, get_journal, get_registry
+from repro.serve.frontend import Frontend
+from repro.adversary.oracle import ConflictOracle
+
+__all__ = ["CrackResult", "ProbeAdversary", "run_crack"]
+
+#: Class id used for keys the solver could not place (no representative
+#: colocated — only possible when discovery was capped early).
+UNKNOWN = -1
+
+
+@dataclass
+class CrackResult:
+    """Everything a finished crack learned, plus its probe bill.
+
+    ``method`` is ``"gf2"`` when the linear model verified (the map is
+    fully reconstructed; :meth:`predict` covers every key in the
+    universe) or ``"bucketing"`` when only the individually classified
+    keys in :attr:`buckets` are known.  Class ids are *local* labels
+    (the index of the class's representative in :attr:`reps`) — a
+    black-box attacker never observes true shard numbers, and does not
+    need to: all it needs for a hostile trace is "these keys collide".
+    """
+
+    scheme: str
+    method: str
+    n_classes: int
+    key_bits: int
+    reps: List[int]
+    probes: int
+    conflict_tests: int
+    accuracy: float  #: held-out verification accuracy of the model
+    verified: bool
+    basis_labels: Dict[int, int] = field(default_factory=dict)
+    buckets: Dict[int, List[int]] = field(default_factory=dict)
+
+    def predict(self, key: int) -> Optional[int]:
+        """Predicted class id for ``key`` (None when unknown)."""
+        if self.method == "gf2":
+            label = self.reps[0]
+            for i in range(self.key_bits):
+                if key >> i & 1:
+                    label ^= self.basis_labels[i] ^ self.reps[0]
+            try:
+                return self.reps.index(label)
+            except ValueError:
+                return None
+        for class_id, keys in self.buckets.items():
+            if key in keys:
+                return class_id
+        return None
+
+    def keys_for_class(self, class_id: int,
+                       limit: int = 16) -> List[int]:
+        """Up to ``limit`` known keys routing to ``class_id``."""
+        if self.method == "gf2":
+            out: List[int] = []
+            for key in range(1 << self.key_bits):
+                if self.predict(key) == class_id:
+                    out.append(key)
+                    if len(out) >= limit:
+                        break
+            return out
+        return list(self.buckets.get(class_id, ()))[:limit]
+
+    def largest_class(self) -> int:
+        """The class id with the most known keys (the natural victim)."""
+        if self.method == "gf2":
+            return 0
+        best = max(((len(keys), class_id)
+                    for class_id, keys in self.buckets.items()
+                    if class_id != UNKNOWN), default=(0, 0))
+        return best[1]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable summary (no key lists — they can be big)."""
+        return {
+            "scheme": self.scheme,
+            "method": self.method,
+            "n_classes": self.n_classes,
+            "key_bits": self.key_bits,
+            "probes": self.probes,
+            "conflict_tests": self.conflict_tests,
+            "accuracy": self.accuracy,
+            "verified": self.verified,
+            "cracked_keys": sum(len(v) for v in self.buckets.values()),
+        }
+
+
+class ProbeAdversary:
+    """Black-box crack of a frontend's key→shard map.
+
+    Args:
+        frontend: the started :class:`Frontend` under attack (point it
+            at a frontend over a :class:`~repro.cluster.Cluster` and
+            the same probes learn the key→*node* map).
+        n_classes: shard classes to look for; defaults to the
+            frontend's advertised ``store.n_shards`` (a serving fleet's
+            size is capacity planning, not a secret).
+        key_bits: the key universe is ``[0, 2^key_bits)`` — both the
+            GF(2) basis size and the bucketing universe bound.
+        crack_keys: how many universe keys the bucketing fallback
+            classifies individually.
+        seed: seeds the held-out verification sample.
+        reps: oracle burst width (see :class:`ConflictOracle`).
+        verify_n: held-out keys used to accept/reject the GF(2) model.
+    """
+
+    def __init__(self, frontend: Frontend, n_classes: int = None,
+                 key_bits: int = 16, crack_keys: int = 256,
+                 seed: int = 0, reps: int = 3, verify_n: int = 16,
+                 registry: Optional[MetricsRegistry] = None,
+                 journal: Optional[Journal] = None):
+        self.frontend = frontend
+        self.n_classes = (frontend.store.n_shards if n_classes is None
+                          else int(n_classes))
+        if self.n_classes < 2:
+            raise ValueError("need at least 2 shard classes to attack")
+        if key_bits < 1 or key_bits > 32:
+            raise ValueError("key_bits must be in [1, 32]")
+        self.key_bits = key_bits
+        self.crack_keys = min(int(crack_keys), 1 << key_bits)
+        self.seed = seed
+        self.verify_n = verify_n
+        self._registry = get_registry() if registry is None else registry
+        self._journal = journal if journal is not None else get_journal()
+        self.oracle = ConflictOracle(frontend, reps=reps,
+                                     registry=self._registry)
+        self._classes: Dict[int, int] = {}  # key -> class id cache
+
+    # -- classification primitives -------------------------------------
+
+    async def _classify(self, key: int, reps: List[int]) -> Optional[int]:
+        """Class id of ``key`` against ``reps`` (cached; None if new)."""
+        if key in self._classes:
+            return self._classes[key]
+        for class_id, rep in enumerate(reps):
+            if await self.oracle.colocated(key, rep):
+                self._classes[key] = class_id
+                return class_id
+        return None
+
+    def _phase(self, phase: str, **fields: Any) -> None:
+        self._journal.emit("adversary.probe_phase", phase=phase,
+                           probes=self.oracle.probes,
+                           conflict_tests=self.oracle.conflict_tests,
+                           **fields)
+
+    # -- the crack ------------------------------------------------------
+
+    async def crack(self) -> CrackResult:
+        """Run discovery → GF(2) solve → bucketing fallback."""
+        scheme = self.frontend.store.scheme
+        self._journal.emit("adversary.attack_start", scheme=scheme,
+                           n_classes=self.n_classes,
+                           key_bits=self.key_bits,
+                           crack_keys=self.crack_keys,
+                           reps=self.oracle.reps)
+        reps = await self._discover_reps()
+        solved, basis, accuracy = await self._solve_gf2(reps)
+        if solved:
+            method, buckets = "gf2", {}
+        else:
+            method = "bucketing"
+            buckets = await self._bucket(reps)
+            accuracy = 1.0 if buckets else 0.0  # each key tested directly
+        result = CrackResult(
+            scheme=scheme, method=method, n_classes=len(reps),
+            key_bits=self.key_bits, reps=reps,
+            probes=self.oracle.probes,
+            conflict_tests=self.oracle.conflict_tests,
+            accuracy=accuracy, verified=solved,
+            basis_labels=basis, buckets=buckets)
+        self._registry.counter("adversary.cracks").inc()
+        self._registry.gauge("adversary.recovery_accuracy",
+                             scheme=scheme).set(accuracy)
+        return result
+
+    async def _discover_reps(self) -> List[int]:
+        """One representative key per reachable shard class."""
+        reps: List[int] = []
+        limit = max(4 * self.n_classes, 64)
+        key = 0
+        while len(reps) < self.n_classes and key < limit:
+            class_id = await self._classify(key, reps)
+            if class_id is None:
+                self._classes[key] = len(reps)
+                reps.append(key)
+            key += 1
+        self._phase("reps", classes=len(reps), keys_walked=key)
+        return reps
+
+    async def _solve_gf2(self, reps: List[int]):
+        """Try the linear model; returns (verified, basis_labels,
+        accuracy).  Bails at the first held-out mismatch — a wrong
+        hypothesis should cost as few probes as possible."""
+        basis: Dict[int, int] = {}
+        for i in range(self.key_bits):
+            class_id = await self._classify(1 << i, reps)
+            if class_id is None:  # basis key outside known classes
+                self._phase("solve", verified=False, checked=0)
+                return False, {}, 0.0
+            basis[i] = reps[class_id]
+
+        def predict_label(key: int) -> int:
+            label = reps[0]
+            for i in range(self.key_bits):
+                if key >> i & 1:
+                    label ^= basis[i] ^ reps[0]
+            return label
+
+        rng = _lcg(self.seed)
+        matches = checked = 0
+        for _ in range(self.verify_n):
+            key = next(rng) % (1 << self.key_bits)
+            true_class = await self._classify(key, reps)
+            checked += 1
+            predicted = predict_label(key)
+            if true_class is None or predicted != reps[true_class]:
+                break
+            matches += 1
+        accuracy = matches / checked if checked else 0.0
+        verified = matches == self.verify_n
+        self._phase("solve", verified=verified, checked=checked,
+                    accuracy=accuracy)
+        return verified, (basis if verified else {}), accuracy
+
+    async def _bucket(self, reps: List[int]) -> Dict[int, List[int]]:
+        """Classify ``crack_keys`` universe keys one by one."""
+        buckets: Dict[int, List[int]] = {}
+        for key in range(self.crack_keys):
+            class_id = await self._classify(key, reps)
+            buckets.setdefault(UNKNOWN if class_id is None else class_id,
+                               []).append(key)
+        self._phase("bucketing", cracked=self.crack_keys,
+                    classes=len(buckets))
+        return buckets
+
+
+def _lcg(seed: int):
+    """Tiny deterministic integer stream (no numpy needed here)."""
+    state = (seed * 0x9E3779B97F4A7C15 + 1) & (1 << 64) - 1
+    while True:
+        state = (state * 6364136223846793005 + 1442695040888963407) \
+            & (1 << 64) - 1
+        yield state >> 16
+
+
+def run_crack(frontend_factory, **kwargs) -> CrackResult:
+    """Sync convenience wrapper: build a frontend, crack it, stop it.
+
+    ``frontend_factory`` is a zero-arg callable returning an unstarted
+    :class:`Frontend` (the same contract as
+    :func:`repro.serve.loadgen.run_open_loop`); remaining keyword
+    arguments go to :class:`ProbeAdversary`.
+    """
+
+    async def run() -> CrackResult:
+        async with frontend_factory() as frontend:
+            return await ProbeAdversary(frontend, **kwargs).crack()
+
+    return asyncio.run(run())

@@ -18,7 +18,12 @@ begin_reshard`, :class:`repro.store.Migrator`) to remediate live:
   conflict pile-ups, applied as an operational action);
 * **grow / shrink** — capacity pages walk the shard count along the
   scheme's ladder (:func:`repro.store.ladder_up` — the *prime* ladder
-  for pMod via :func:`repro.mathutil.next_prime`).
+  for pMod via :func:`repro.mathutil.next_prime`);
+* **key rotation** — the detector's adversarial-skew page
+  (``health.adversary``, fed by the store's heavy-hitter top-K) fires
+  a :class:`KeyRotator`: a fresh secret for the keyed scheme, applied
+  through the same dual-epoch migration, invalidating everything a
+  :mod:`repro.adversary` probe campaign learned without losing a key.
 
 Every decision lands on the journal (``control.action`` /
 ``control.quarantine``) and the pre-declared ``control.*`` counters, so
@@ -31,10 +36,13 @@ from repro.control.controller import (
     Observation,
     RemediationController,
 )
+from repro.control.rotation import KeyRotator, key_fingerprint
 
 __all__ = [
     "Action",
     "ControlConfig",
+    "KeyRotator",
     "Observation",
     "RemediationController",
+    "key_fingerprint",
 ]

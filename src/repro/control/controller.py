@@ -21,11 +21,19 @@ Decision rules (in priority order):
    the shard ids to quarantine.  Both signals are required: stall
    events without a page mean the fault policy is absorbing the damage
    (no action needed), a page without stall events has no target.
-2. **Drift** — the detector holds a trip for the store's *current*
+2. **Adversarial skew** — the detector's
+   :meth:`~repro.obs.health.HashQualityDetector.grade_adversary` alarm
+   pages on the store's current scheme and a :class:`KeyRotator` is
+   configured: rotate the secret.  A reshard onto another public
+   scheme would only hand the attacker a new map to crack; a fresh
+   secret invalidates everything the probes learned at once.  When the
+   alarm resolves after the rotation, the controller journals
+   ``adversary.mitigated`` closing the loop.
+3. **Drift** — the detector holds a trip for the store's *current*
    scheme: reshard onto ``config.target_scheme`` (or, if the store
    already runs the target scheme, grow one ladder rung — more shards
    is the remaining lever).
-3. **Capacity** — an active page on the reject-rate SLO grows the
+4. **Capacity** — an active page on the reject-rate SLO grows the
    shard count one rung up the scheme's ladder.
 
 Each reshard action runs its migration to completion inside
@@ -40,7 +48,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs import Journal, MetricsRegistry, get_journal, get_registry
-from repro.obs.health import Alert, DriftStatus, HashQualityDetector, SloEngine
+from repro.obs.health import (
+    AdversaryStatus,
+    Alert,
+    DriftStatus,
+    HashQualityDetector,
+    SloEngine,
+)
+from repro.control.rotation import KeyRotator
 from repro.store import Migrator, ShardedStore
 from repro.store.migrate import DEFAULT_MOVE_BUDGET
 
@@ -91,7 +106,7 @@ class ControlConfig:
 class Action:
     """One decided remediation, before/after application."""
 
-    kind: str  #: "quarantine" | "node_quarantine" | "scheme_swap" | "grow" | "shrink"
+    kind: str  #: "quarantine" | "node_quarantine" | "key_rotation" | "scheme_swap" | "grow" | "shrink"
     reason: str
     detail: Dict[str, Any] = field(default_factory=dict)
 
@@ -108,6 +123,7 @@ class Observation:
     tripped: List[DriftStatus]
     stalled_shards: List[int]
     down_nodes: List[int] = field(default_factory=list)
+    adversary: List[AdversaryStatus] = field(default_factory=list)
 
     def paging(self, slo: str) -> bool:
         """Whether ``slo`` has an active fast-window (paging) alert."""
@@ -119,6 +135,7 @@ class Observation:
             "tripped": [t.as_dict() for t in self.tripped],
             "stalled_shards": list(self.stalled_shards),
             "down_nodes": list(self.down_nodes),
+            "adversary": [a.as_dict() for a in self.adversary],
         }
 
 
@@ -137,6 +154,11 @@ class RemediationController:
             fresh ``cluster.node_down`` journal events become
             node-granularity quarantine actions (route the whole node's
             traffic to its ring successors, one node per step).
+        rotator: optional :class:`KeyRotator`; when given (keyed
+            schemes only), each observe also grades the store's
+            telemetry through the detector's adversary mode, and an
+            active ``health.adversary`` page on the current scheme
+            becomes a ``key_rotation`` action.
     """
 
     def __init__(self, store: ShardedStore, slo_engine: SloEngine,
@@ -144,7 +166,7 @@ class RemediationController:
                  config: Optional[ControlConfig] = None,
                  journal: Optional[Journal] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 cluster=None):
+                 cluster=None, rotator: Optional[KeyRotator] = None):
         self.store = store
         self.slo_engine = slo_engine
         self.detector = detector
@@ -152,6 +174,13 @@ class RemediationController:
         self._journal = journal
         self._registry = registry
         self.cluster = cluster
+        self.rotator = rotator
+        #: schemes rotated for an adversary page whose resolution has
+        #: not yet been journaled as ``adversary.mitigated``.
+        self._awaiting_mitigation: set = set()
+        #: schemes whose mitigation was journaled in the current step
+        #: (one-step drift-rule grace; reset every observe).
+        self._just_mitigated: set = set()
         #: journal seq cursor: fault events at or below it are consumed.
         self._fault_cursor = -1
         #: journal seq cursor for ``cluster.node_down`` events.
@@ -173,6 +202,14 @@ class RemediationController:
         """Evaluate the health layer and drain fresh fault events."""
         self.slo_engine.evaluate()
         if self.detector is not None:
+            if self.rotator is not None:
+                # Adversary mode needs the heavy-hitter rows, not just
+                # published gauges — grade the live snapshot.  Grading
+                # first also publishes this window's balance gauges, so
+                # the drift evaluate below sees current skew, not last
+                # step's (a rotation would otherwise leave a stale
+                # attack-era trip behind for one extra step).
+                self.detector.grade_adversary(self.store.telemetry())
             self.detector.evaluate()
         stalled: List[int] = []
         seen = set()
@@ -200,10 +237,22 @@ class RemediationController:
                     down_nodes.append(node_id)
             self._node_cursor = node_cursor
         tripped = self.detector.tripped() if self.detector is not None else []
+        adversary = (self.detector.adversary_tripped()
+                     if self.detector is not None else [])
+        still_paging = {status.scheme for status in adversary}
+        self._just_mitigated = set()
+        for scheme in sorted(self._awaiting_mitigation - still_paging):
+            self._awaiting_mitigation.discard(scheme)
+            self._just_mitigated.add(scheme)
+            self.journal.emit("adversary.mitigated", scheme=scheme,
+                              epoch=self.store.epoch,
+                              rotations=(self.rotator.rotations
+                                         if self.rotator else 0))
         return Observation(alerts=self.slo_engine.active_alerts(),
                            tripped=list(tripped),
                            stalled_shards=stalled,
-                           down_nodes=down_nodes)
+                           down_nodes=down_nodes,
+                           adversary=list(adversary))
 
     # -- decide --------------------------------------------------------
 
@@ -263,8 +312,38 @@ class RemediationController:
                             f"events on shards {shards}"),
                     detail={"shards": shards}))
         current_scheme = self.store.scheme
+        if self.rotator is not None:
+            for status in observation.adversary:
+                if status.scheme != current_scheme:
+                    continue
+                actions.append(Action(
+                    kind="key_rotation",
+                    reason=(f"health.adversary page on {current_scheme}: "
+                            f"tail load {status.tail_load:.2f} >= "
+                            f"{status.tail_max:g} with hot-key share "
+                            f"{status.hot_key_share:.2f} >= "
+                            f"{status.share_min:g}"),
+                    detail={"scheme": current_scheme,
+                            "tail_load": status.tail_load,
+                            "hot_key_share": status.hot_key_share}))
+                break  # one routing change per step
+        if any(a.kind == "key_rotation" for a in actions):
+            return actions  # the rotation IS this step's routing change
         for status in observation.tripped:
             if status.scheme != current_scheme:
+                continue
+            if (self.rotator is not None and self.detector is not None
+                    and (self.detector.adversary_streak(current_scheme)
+                         or current_scheme in self._awaiting_mitigation
+                         or current_scheme in self._just_mitigated)):
+                # Skew with an adversary verdict in flight (streak
+                # building, rotation fired but not yet re-graded clean,
+                # or mitigation confirmed this very step) is attack
+                # residue, not organic drift — a scheme swap here would
+                # abandon the keyed defense for a public map the
+                # attacker can re-crack.  Hold fire; the adversary rule
+                # owns this, and skew that *persists* past the grace
+                # step reaches this rule on the next one.
                 continue
             if current_scheme != self.config.target_scheme:
                 actions.append(Action(
@@ -322,6 +401,11 @@ class RemediationController:
                               quarantined=sorted(router.quarantined_nodes),
                               reason=action.reason)
             detail["epoch"] = router.epoch
+        elif action.kind == "key_rotation":
+            if self.rotator is None:
+                raise ValueError("key_rotation action without a rotator")
+            detail["rotation"] = self.rotator.rotate(reason=action.reason)
+            self._awaiting_mitigation.add(detail["rotation"]["scheme"])
         elif action.kind == "scheme_swap":
             table = self.store.routing.reschemed(detail["to_scheme"])
             detail["migration"] = self._reshard_to(table)

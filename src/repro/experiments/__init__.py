@@ -23,6 +23,7 @@ module                      reproduces
 ``health``                  SLO burn-rate + drift watchdog drill (extension)
 ``reshard``                 live prime-ladder reshard contract (extension)
 ``cluster``                 multi-node loss/recovery drill (extension)
+``adversary``               hash cracking vs scheme + keyed rotation (extension)
 ========================== ======================================
 
 Each module exposes ``run(...)``, ``render(result)`` and a ``main()``
@@ -63,6 +64,7 @@ EXPERIMENT_MODULES = (
     "health",
     "reshard",
     "cluster",
+    "adversary",
 )
 
 

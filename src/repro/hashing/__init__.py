@@ -36,6 +36,15 @@ from repro.hashing.base import (
     available_indexings,
     make_indexing,
 )
+from repro.hashing.keyed import (
+    DEFAULT_KEY,
+    KeyedDisplacementIndexing,
+    KeyedMersenneIndexing,
+    MERSENNE_EXPONENT,
+    MERSENNE_PRIME,
+    derive_constants,
+    mersenne_fold,
+)
 from repro.hashing.prime_displacement import (
     DEFAULT_DISPLACEMENT,
     PrimeDisplacementIndexing,
@@ -71,10 +80,15 @@ __all__ = [
     "BankIndexingFamily",
     "ConflictGroup",
     "DEFAULT_DISPLACEMENT",
+    "DEFAULT_KEY",
     "DispersionReport",
     "FIBONACCI_MULTIPLIER_64",
     "GF2PolynomialIndexing",
     "IndexingFunction",
+    "KeyedDisplacementIndexing",
+    "KeyedMersenneIndexing",
+    "MERSENNE_EXPONENT",
+    "MERSENNE_PRIME",
     "MultiplicativeIndexing",
     "XorFoldIndexing",
     "PAPER_BANK_DISPLACEMENTS",
@@ -93,9 +107,11 @@ __all__ = [
     "chi_square_uniformity",
     "concentration",
     "concentration_from_sets",
+    "derive_constants",
     "inter_bank_dispersion",
     "is_sequence_invariant",
     "make_indexing",
+    "mersenne_fold",
     "recommend_indexing",
     "reuse_distances",
     "score_indexings",

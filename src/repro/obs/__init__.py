@@ -64,6 +64,7 @@ from repro.obs.sinks import (
 from repro.obs.spans import Span, SpanTracer, get_tracer, set_tracer, trace_span
 
 __all__ = [
+    "ADVERSARY_METRICS",
     "CLUSTER_METRICS",
     "CONTROL_METRICS",
     "CORE_COUNTERS",
@@ -176,6 +177,8 @@ HEALTH_METRICS = {
     "health.burn_rate": "gauge",
     "health.drift.trips": "counter",
     "health.drift.ok": "gauge",
+    "health.adversary.trips": "counter",
+    "health.adversary.ok": "gauge",
 }
 
 #: Remediation-controller series (`repro.control`), same contract.
@@ -188,6 +191,20 @@ CONTROL_METRICS = {
     "control.reshards": "counter",
     "control.scheme_swaps": "counter",
     "control.node_quarantines": "counter",
+    "control.key_rotations": "counter",
+}
+
+#: Adversary-subsystem series (`repro.adversary`), same contract.
+#: Probe counters rate the attacker's oracle traffic; the gauge holds
+#: the last solver verification accuracy per cracked scheme (labeled
+#: variants appear on first crack, the unlabeled declaration keeps
+#: snapshots schema-stable).
+ADVERSARY_METRICS = {
+    "adversary.probes": "counter",
+    "adversary.conflict_tests": "counter",
+    "adversary.cracks": "counter",
+    "adversary.hostile_requests": "counter",
+    "adversary.recovery_accuracy": "gauge",
 }
 
 #: Cluster-tier series (`repro.cluster`), same contract.  The labeled
@@ -219,13 +236,14 @@ def declare_core_metrics(registry: MetricsRegistry = None) -> None:
     :data:`CORE_COUNTERS` plus the :data:`STORE_METRICS` /
     :data:`SERVE_METRICS` / :data:`JOURNAL_METRICS` /
     :data:`HEALTH_METRICS` / :data:`CONTROL_METRICS` /
-    :data:`CLUSTER_METRICS` / :data:`OBS_METRICS` series, all at zero."""
+    :data:`CLUSTER_METRICS` / :data:`ADVERSARY_METRICS` /
+    :data:`OBS_METRICS` series, all at zero."""
     registry = registry or get_registry()
     for name in CORE_COUNTERS:
         registry.counter(name)
     for metrics in (STORE_METRICS, SERVE_METRICS, JOURNAL_METRICS,
                     HEALTH_METRICS, CONTROL_METRICS, CLUSTER_METRICS,
-                    OBS_METRICS):
+                    ADVERSARY_METRICS, OBS_METRICS):
         for name, kind in metrics.items():
             getattr(registry, kind)(name)
 

@@ -106,6 +106,15 @@ BENCH_METRICS: Dict[str, Tuple[Tuple[str, Tuple[str, ...], str], ...]] = {
         ("pmod_stack_loss_p99_s",
          ("stacks", "pmod+pmod", "during_loss_p99_s"), "lower"),
     ),
+    "adversary": (
+        # Probe counts are deterministic; "higher" = harder to crack.
+        ("pmod_probes_to_crack",
+         ("probes_to_crack", "pmod"), "higher"),
+        ("pdisp_probes_to_crack",
+         ("probes_to_crack", "pdisp"), "higher"),
+        ("probe_factor", ("probe_factor",), "higher"),
+        ("time_to_mitigate_s", ("time_to_mitigate_s",), "lower"),
+    ),
 }
 
 

@@ -51,6 +51,7 @@ from repro.obs.journal import Journal, get_journal
 from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = [
+    "AdversaryStatus",
     "Alert",
     "DEFAULT_DRIFT_BANDS",
     "DriftBand",
@@ -428,6 +429,8 @@ DEFAULT_DRIFT_BANDS: Dict[str, DriftBand] = {
     "pdisp19": DriftBand(balance_max=1.5),
     "pdisp31": DriftBand(balance_max=1.5),
     "pdisp37": DriftBand(balance_max=1.5),
+    "keyed": DriftBand(balance_max=1.5),
+    "keyed_pdisp": DriftBand(balance_max=1.5),
 }
 
 
@@ -488,6 +491,39 @@ class DriftStatus:
         }
 
 
+@dataclass(frozen=True)
+class AdversaryStatus:
+    """One adversarial-drift observation of a store's telemetry.
+
+    ``suspicious`` is this single observation's verdict (hot shard
+    *and* hot keys concentrated on it); ``tripped`` is the sustained
+    alarm state after :attr:`HashQualityDetector.adversary_sustain`
+    consecutive suspicious observations.
+    """
+
+    scheme: str
+    tail_load: float
+    hot_key_share: float  #: top-K traffic share landing on the hottest shard
+    tail_max: float
+    share_min: float
+    suspicious: bool
+    tripped: bool
+    streak: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable payload."""
+        return {
+            "scheme": self.scheme,
+            "tail_load": self.tail_load,
+            "hot_key_share": self.hot_key_share,
+            "tail_max": self.tail_max,
+            "share_min": self.share_min,
+            "suspicious": self.suspicious,
+            "tripped": self.tripped,
+            "streak": self.streak,
+        }
+
+
 class HashQualityDetector:
     """Grades live per-scheme balance/concentration against bands.
 
@@ -498,15 +534,44 @@ class HashQualityDetector:
     :meth:`grade`).  Trips are edge-triggered onto the journal and the
     ``health.drift.trips`` counter; the per-scheme verdict is mirrored
     to the ``health.drift.ok`` gauge (1 = inside band).
+
+    **Adversary mode** (:meth:`grade_adversary`) watches for
+    *deliberate* skew rather than accidental drift: traffic that pins
+    one shard (``tail_load`` at or above ``adversary_tail_max``) while
+    the heavy-hitter top-K shows the traffic is a small recycled key
+    set aimed at that shard (their share of all accesses at or above
+    ``adversary_hot_key_share``).  Accidental skew (zipfian hot keys)
+    spreads its hitters across shards; a crack-and-flood attack cannot
+    avoid both signals at once.  Sustained for ``adversary_sustain``
+    consecutive observations, it pages: ``health.alert_fired`` with
+    ``slo="health.adversary"``, mirrored to ``health.adversary.ok`` /
+    ``health.adversary.trips`` — the page the
+    :class:`~repro.control.RemediationController` answers with a key
+    rotation.
     """
 
     def __init__(self, bands: Optional[Mapping[str, DriftBand]] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 journal: Optional[Journal] = None):
+                 journal: Optional[Journal] = None,
+                 adversary_tail_max: float = 4.0,
+                 adversary_hot_key_share: float = 0.25,
+                 adversary_sustain: int = 2):
         self.bands: Dict[str, DriftBand] = dict(bands or DEFAULT_DRIFT_BANDS)
         self._registry = registry
         self._journal = journal
         self._tripped: Dict[str, DriftStatus] = {}
+        if adversary_tail_max <= 1.0:
+            raise ValueError("adversary_tail_max must exceed 1.0 "
+                             "(1.0 is perfectly balanced load)")
+        if not 0.0 < adversary_hot_key_share <= 1.0:
+            raise ValueError("adversary_hot_key_share must be in (0, 1]")
+        if adversary_sustain < 1:
+            raise ValueError("adversary_sustain must be >= 1")
+        self.adversary_tail_max = adversary_tail_max
+        self.adversary_hot_key_share = adversary_hot_key_share
+        self.adversary_sustain = adversary_sustain
+        self._adversary_streak: Dict[str, int] = {}
+        self._adversary_tripped: Dict[str, AdversaryStatus] = {}
 
     @property
     def registry(self) -> MetricsRegistry:
@@ -595,6 +660,80 @@ class HashQualityDetector:
         """Schemes currently outside their band."""
         return [self._tripped[s] for s in sorted(self._tripped)]
 
+    # -- adversary mode -------------------------------------------------
+
+    def grade_adversary(self, telemetry) -> AdversaryStatus:
+        """Grade one telemetry snapshot for *deliberate* hot-shard skew.
+
+        Suspicious when the hottest shard carries at least
+        ``adversary_tail_max`` times its ideal share **and** the
+        heavy-hitter top-K rows landing on that shard account for at
+        least ``adversary_hot_key_share`` of all accesses.  The alarm
+        trips (pages) only after ``adversary_sustain`` consecutive
+        suspicious snapshots and resolves on the first healthy one —
+        edge-triggered, like drift.
+        """
+        scheme = telemetry.scheme
+        tail_load = float(telemetry.tail_load)
+        accesses = max(1, int(telemetry.accesses))
+        shard_accesses = list(telemetry.shard_accesses)
+        hottest = (shard_accesses.index(max(shard_accesses))
+                   if shard_accesses else -1)
+        hot_count = sum(
+            int(row.get("count", 0))
+            for row in getattr(telemetry, "top_keys", ())
+            if row.get("where") == hottest)
+        hot_key_share = hot_count / accesses
+        suspicious = (math.isfinite(tail_load)
+                      and tail_load >= self.adversary_tail_max
+                      and hot_key_share >= self.adversary_hot_key_share)
+        streak = self._adversary_streak.get(scheme, 0) + 1 if suspicious \
+            else 0
+        self._adversary_streak[scheme] = streak
+        was_tripped = scheme in self._adversary_tripped
+        tripped = (streak >= self.adversary_sustain) or (suspicious
+                                                         and was_tripped)
+        status = AdversaryStatus(
+            scheme=scheme, tail_load=tail_load,
+            hot_key_share=hot_key_share,
+            tail_max=self.adversary_tail_max,
+            share_min=self.adversary_hot_key_share,
+            suspicious=suspicious, tripped=tripped, streak=streak)
+        registry = self.registry
+        registry.gauge("health.adversary.ok", scheme=scheme).set(
+            0.0 if tripped else 1.0)
+        if tripped and not was_tripped:
+            self._adversary_tripped[scheme] = status
+            registry.counter("health.adversary.trips").inc()
+            registry.counter("health.alerts").inc()
+            self.journal.emit(
+                "health.alert_fired", slo="health.adversary",
+                window="telemetry", severity="page", scheme=scheme,
+                tail_load=tail_load, hot_key_share=hot_key_share,
+                tail_max=self.adversary_tail_max,
+                share_min=self.adversary_hot_key_share)
+        elif not tripped and was_tripped:
+            del self._adversary_tripped[scheme]
+            self.journal.emit("health.alert_resolved",
+                              slo="health.adversary", window="telemetry",
+                              scheme=scheme)
+        elif tripped:
+            self._adversary_tripped[scheme] = status
+        return status
+
+    def adversary_tripped(self) -> List[AdversaryStatus]:
+        """Schemes with the adversarial-drift page currently active."""
+        return [self._adversary_tripped[s]
+                for s in sorted(self._adversary_tripped)]
+
+    def adversary_streak(self, scheme: str) -> int:
+        """Consecutive suspicious observations for ``scheme`` (0 =
+        clean).  Nonzero-but-below-``adversary_sustain`` means a
+        verdict is *pending* — consumers (the controller's drift rule)
+        use this to hold fire until the attack call is made."""
+        return self._adversary_streak.get(scheme, 0)
+
     def __repr__(self) -> str:
         return (f"HashQualityDetector(bands={len(self.bands)}, "
-                f"tripped={sorted(self._tripped)})")
+                f"tripped={sorted(self._tripped)}, "
+                f"adversary={sorted(self._adversary_tripped)})")

@@ -74,11 +74,15 @@ EVENT_REQUIRED_KEYS = ("schema_version", "seq", "ts_unix_s", "mono_s",
 #: ad-hoc kinds in tests and downstream tooling keep working while
 #: replay pipelines can opt into strict vocabulary checking.
 KNOWN_EVENT_KINDS = frozenset({
+    "adversary.attack_start",
+    "adversary.mitigated",
+    "adversary.probe_phase",
     "cluster.node_down",
     "cluster.node_up",
     "cluster.quorum_miss",
     "cluster.rereplicate",
     "control.action",
+    "control.key_rotation",
     "control.node_quarantine",
     "control.quarantine",
     "engine.cache.corrupt_discard",

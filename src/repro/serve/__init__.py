@@ -42,6 +42,7 @@ from repro.serve.frontend import (
     FrontendStopped,
     Response,
     SimulateRequest,
+    VIRTUAL_TICK_S,
     engine_simulate_fn,
 )
 from repro.serve.loadgen import (
@@ -70,6 +71,7 @@ __all__ = [
     "REASON_RATE",
     "Response",
     "SimulateRequest",
+    "VIRTUAL_TICK_S",
     "WorkItem",
     "arrival_gaps",
     "closed_loop",

@@ -62,12 +62,20 @@ class WorkItem:
     asyncio task than the submitter, so the context cannot ride a
     contextvar here — it rides the item, and the executor records
     queue-wait / fault / store stages into it directly.
+
+    ``service_s`` is the executor's *virtual-clock* service time for
+    this item (batch position × tick; see
+    :data:`repro.serve.frontend.VIRTUAL_TICK_S`): deterministic under a
+    fixed seed where wall-clock latency is not, which is what makes it
+    usable both as a reproducible load-report statistic and as the
+    timing side channel the adversary reads.
     """
 
     request: Any
     future: asyncio.Future
     enqueued_s: float = 0.0
     trace: Any = None
+    service_s: float = 0.0
 
     @classmethod
     def make(cls, request: Any, trace: Any = None) -> "WorkItem":

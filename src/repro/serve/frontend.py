@@ -82,6 +82,7 @@ __all__ = [
     "FrontendStopped",
     "Response",
     "SimulateRequest",
+    "VIRTUAL_TICK_S",
     "engine_simulate_fn",
 ]
 
@@ -91,6 +92,14 @@ STATUSES = ("ok", "rejected", "timeout", "error", "dropped")
 #: Queue id of the simulation batcher's single queue (distinct from any
 #: shard id so targeted shard stalls never hit simulation batches).
 SIM_QUEUE = -1
+
+#: Virtual-clock tick charged per batch position: the k-th live item of
+#: a dispatched batch gets ``service_time_s = k × tick``, modeling the
+#: serial drain of a batch on its shard.  Wall-clock ``latency_s``
+#: jitters with the host scheduler; this virtual service time is
+#: exactly reproducible under a fixed seed, so load reports — and the
+#: adversary's co-batching timing oracle — can assert on it.
+VIRTUAL_TICK_S = 1e-6
 
 
 class FrontendStopped(RuntimeError):
@@ -113,7 +122,13 @@ class SimulateRequest:
 
 @dataclass(frozen=True)
 class Response:
-    """The explicit outcome of one submitted request."""
+    """The explicit outcome of one submitted request.
+
+    ``latency_s`` is wall-clock (scheduler-dependent); ``service_time_s``
+    is the deterministic virtual-clock batch-drain time (batch position
+    × :data:`VIRTUAL_TICK_S`, 0.0 for requests that never reached a
+    store batch) — assert on the latter when reproducibility matters.
+    """
 
     op: str
     key: Any
@@ -122,6 +137,7 @@ class Response:
     reason: Optional[str] = None
     retries: int = 0
     latency_s: float = 0.0
+    service_time_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -130,7 +146,8 @@ class Response:
     def as_dict(self) -> Dict[str, Any]:
         return {"op": self.op, "key": self.key, "status": self.status,
                 "value": self.value, "reason": self.reason,
-                "retries": self.retries, "latency_s": self.latency_s}
+                "retries": self.retries, "latency_s": self.latency_s,
+                "service_time_s": self.service_time_s}
 
 
 def engine_simulate_fn(engine) -> Callable[[str, str], Dict[str, Any]]:
@@ -349,7 +366,8 @@ class Frontend:
                                    retries=retries)
                 return self._finish(Response(
                     op=op, key=key, status="dropped", reason=str(exc),
-                    retries=retries, latency_s=perf_counter() - start), ctx)
+                    retries=retries, latency_s=perf_counter() - start,
+                    service_time_s=item.service_s), ctx)
             except Exception as exc:
                 failure = "error"
                 detail = f"{type(exc).__name__}: {exc}"
@@ -365,7 +383,8 @@ class Frontend:
                         ctx.stage_since("settle", settled, attempt=retries)
                 return self._finish(Response(
                     op=op, key=key, status="ok", value=value,
-                    retries=retries, latency_s=perf_counter() - start), ctx)
+                    retries=retries, latency_s=perf_counter() - start,
+                    service_time_s=item.service_s), ctx)
             if retries >= self.policy.max_retries:
                 if failure == "timeout":
                     self.counts["timeouts"] += 1
@@ -381,7 +400,8 @@ class Frontend:
                                        retries=retries, detail=detail)
                 return self._finish(Response(
                     op=op, key=key, status=failure, reason=detail,
-                    retries=retries, latency_s=perf_counter() - start), ctx)
+                    retries=retries, latency_s=perf_counter() - start,
+                    service_time_s=item.service_s), ctx)
             retries += 1
             self.counts["retries"] += 1
             self._retry_counter.inc()
@@ -497,7 +517,8 @@ class Frontend:
         with trace_span("serve.batch", shard=shard_id, size=len(live)):
             store = self.store
             batch_from = perf_counter()
-            for item in live:
+            for position, item in enumerate(live):
+                item.service_s = (position + 1) * VIRTUAL_TICK_S
                 request = item.request
                 ctx = item.trace
                 op_from = perf_counter()
@@ -568,7 +589,8 @@ class Frontend:
                                      cleared - fault_from, shard=SIM_QUEUE)
         # Dedupe identical cells: one simulation serves every waiter.
         groups: Dict[Any, List[WorkItem]] = {}
-        for item in live:
+        for position, item in enumerate(live):
+            item.service_s = (position + 1) * VIRTUAL_TICK_S
             request = item.request
             groups.setdefault((request.workload, request.scheme),
                               []).append(item)

@@ -60,6 +60,8 @@ class LoadReport:
     offered_rps: Optional[float]  #: None for closed-loop runs
     statuses: Dict[str, int]
     latency: Dict[str, float]  #: mean/p50/p95/p99/max over all responses
+    service_time: Dict[str, float]  #: same summary over the seed-
+    #: deterministic virtual-clock ``Response.service_time_s``
     retries: int
     batches: int
     mean_batch_size: float
@@ -95,6 +97,7 @@ class LoadReport:
             "offered_rps": self.offered_rps,
             "statuses": dict(self.statuses),
             "latency": dict(self.latency),
+            "service_time": dict(self.service_time),
             "retries": self.retries,
             "batches": self.batches,
             "mean_batch_size": self.mean_batch_size,
@@ -131,6 +134,8 @@ def _report(frontend: Frontend, responses: List[Response], elapsed: float,
         offered_rps=offered_rps,
         statuses=statuses,
         latency=_latency_summary([r.latency_s for r in responses]),
+        service_time=_latency_summary(
+            [r.service_time_s for r in responses]),
         retries=stats["retries"],
         batches=stats["batches"],
         mean_batch_size=stats["mean_batch_size"],

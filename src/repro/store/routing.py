@@ -52,10 +52,11 @@ __all__ = [
 def prime_capable(scheme: str) -> bool:
     """Whether ``scheme`` routes over arbitrary prime shard counts.
 
-    ``pmod`` is a plain modulo, so any prime works; the other schemes
-    mask/XOR index bits and need a power of two.
+    ``pmod`` is a plain modulo and ``keyed`` ends in one, so any prime
+    works; the other schemes mask/XOR index bits and need a power of
+    two.
     """
-    return scheme == "pmod"
+    return scheme in ("pmod", "keyed")
 
 
 def normalize_shard_count(scheme: str, n_shards: int) -> int:
@@ -168,6 +169,18 @@ class RoutingTable:
             scheme, n_shards if n_shards is not None else self.n_shards)
         selector = make_selector_exact(scheme, target)
         return RoutingTable(scheme=scheme, epoch_id=self.epoch_id + 1,
+                            selector=selector)
+
+    def rekeyed(self, key: int) -> "RoutingTable":
+        """Successor table under a fresh secret (keyed schemes only).
+
+        Same scheme and shard count — only the secret changes, so the
+        key→shard map is scrambled while capacity stays put.  Like
+        :meth:`resized`, the quarantine set is cleared: the new epoch
+        gets a fresh fleet and re-routes from scratch.
+        """
+        selector = self.selector.rekeyed(key)
+        return RoutingTable(scheme=self.scheme, epoch_id=self.epoch_id + 1,
                             selector=selector)
 
     def with_quarantined(self, shard_ids: Iterable[int]) -> "RoutingTable":

@@ -16,6 +16,10 @@ Schemes (:data:`STORE_SCHEMES`):
   (:func:`repro.mathutil.largest_prime_below`); the pMod adapter.
 * ``pdisp`` / ``pdisp19`` / ``pdisp31`` / ``pdisp37`` — prime
   displacement with the paper's p = 9 / 19 / 31 / 37 constants.
+* ``keyed`` / ``keyed_pdisp`` — secret-keyed Mersenne-prime hashing and
+  keyed prime displacement (:mod:`repro.hashing.keyed`), the defense
+  against the black-box hash-cracking adversary; rotate the secret
+  with :meth:`ShardSelector.rekeyed`.
 
 Non-integer keys (str / bytes) are first folded to a stable 64-bit
 integer with blake2b, so structured integer key streams keep their
@@ -32,6 +36,8 @@ import numpy as np
 
 from repro.hashing import (
     IndexingFunction,
+    KeyedDisplacementIndexing,
+    KeyedMersenneIndexing,
     PrimeDisplacementIndexing,
     PrimeModuloIndexing,
     TraditionalIndexing,
@@ -113,6 +119,26 @@ class ShardSelector:
     def index_array(self, block_addresses: np.ndarray) -> np.ndarray:
         return self.indexing.index_array(block_addresses)
 
+    # -- keyed schemes --------------------------------------------------
+
+    @property
+    def key(self):
+        """The secret key, or ``None`` for unkeyed schemes."""
+        return getattr(self.indexing, "key", None)
+
+    def rekeyed(self, key: int) -> "ShardSelector":
+        """A selector over the same geometry under a fresh secret.
+
+        Raises :class:`ValueError` for unkeyed schemes — rotating a
+        public hash would silently provide no defense.
+        """
+        rekey = getattr(self.indexing, "rekeyed", None)
+        if rekey is None:
+            raise ValueError(
+                f"scheme {self.scheme!r} is not keyed; only keyed "
+                f"schemes can rotate secrets")
+        return ShardSelector(rekey(int(key)), scheme=self.scheme)
+
     def __repr__(self) -> str:
         return (f"ShardSelector(scheme={self.scheme!r}, "
                 f"n_shards={self.n_shards}/{self.n_shards_physical})")
@@ -135,6 +161,8 @@ STORE_SCHEMES: Dict[str, Callable[[int], IndexingFunction]] = {
     "pdisp19": _pdisp_factory(19),
     "pdisp31": _pdisp_factory(31),
     "pdisp37": _pdisp_factory(37),
+    "keyed": KeyedMersenneIndexing,
+    "keyed_pdisp": KeyedDisplacementIndexing,
 }
 
 
@@ -167,13 +195,17 @@ def make_selector_exact(scheme: str, n_shards: int) -> ShardSelector:
     """
     if n_shards < 2:
         raise ValueError(f"need at least 2 shards, got {n_shards}")
-    if scheme == "pmod" and not is_power_of_two(n_shards):
+    if scheme in ("pmod", "keyed") and not is_power_of_two(n_shards):
         if not is_prime(n_shards):
             raise ValueError(
-                f"pmod shard count must be prime (or a power of two for "
-                f"the largest-prime-below fallback), got {n_shards}"
+                f"{scheme} shard count must be prime (or a power of two "
+                f"for the power-of-two fallback), got {n_shards}"
             )
         physical = 1 << n_shards.bit_length()
+        if scheme == "keyed":
+            return ShardSelector(
+                KeyedMersenneIndexing(physical, n_sets=n_shards),
+                scheme="keyed")
         return ShardSelector(
             PrimeModuloIndexing(physical, n_sets=n_shards), scheme="pmod")
     if not is_power_of_two(n_shards):

@@ -1,0 +1,77 @@
+"""Hostile trace synthesis: one shard takes everything."""
+
+import pytest
+
+from repro.adversary import run_crack, synthesize_hostile_trace
+from repro.serve import AdmissionConfig, BatchConfig, FaultPolicy, Frontend
+from repro.store import ShardedStore
+
+
+def cracked(scheme="pdisp", n_shards=16):
+    def build():
+        store = ShardedStore(n_shards=n_shards, scheme=scheme,
+                             shard_capacity=256)
+        return Frontend(
+            store,
+            batch=BatchConfig(max_batch_size=32, max_wait_s=0.001),
+            admission=AdmissionConfig(rate=None, max_queue_depth=4096),
+            policy=FaultPolicy(timeout_s=5.0, max_retries=0),
+        )
+
+    return run_crack(build, key_bits=10, crack_keys=64)
+
+
+class TestSynthesis:
+    def test_every_request_hits_one_shard(self):
+        result = cracked()
+        trace = synthesize_hostile_trace(result, 500, distinct_keys=8)
+        store = ShardedStore(n_shards=16, scheme="pdisp",
+                             shard_capacity=256)
+        shards = {store.shard_for(r.key) for r in trace.requests}
+        assert len(shards) == 1
+        assert len(trace) == 500
+        assert len(trace.keys) <= 8
+
+    def test_put_mode_carries_values(self):
+        result = cracked()
+        trace = synthesize_hostile_trace(result, 10, op="put")
+        assert all(r.op == "put" for r in trace.requests)
+        assert [r.value for r in trace.requests] == list(range(10))
+
+    def test_gf2_crack_generates_keys_on_demand(self):
+        """An exact (gf2) crack has no buckets, yet still feeds the
+        synthesizer: keys are enumerated from the recovered model."""
+        result = cracked(scheme="traditional")
+        assert result.method == "gf2"
+        trace = synthesize_hostile_trace(result, 100, target_class=3,
+                                         distinct_keys=4)
+        store = ShardedStore(n_shards=16, scheme="traditional",
+                             shard_capacity=256)
+        assert len({store.shard_for(r.key) for r in trace.requests}) == 1
+
+    def test_drives_concentration_to_the_corner(self):
+        """Replaying the trace pins Eq. 1 / Eq. 2 at their worst: the
+        whole point of the crack, measured."""
+        result = cracked()
+        trace = synthesize_hostile_trace(result, 2000)
+        store = ShardedStore(n_shards=16, scheme="pdisp",
+                             shard_capacity=256)
+        for request in trace.requests:
+            store.get(request.key)
+        telemetry = store.telemetry()
+        assert telemetry.tail_load >= 8.0
+        assert telemetry.concentration >= 8.0
+
+
+class TestValidation:
+    def test_rejects_empty_traces_and_bad_ops(self):
+        result = cracked()
+        with pytest.raises(ValueError, match="n_requests"):
+            synthesize_hostile_trace(result, 0)
+        with pytest.raises(ValueError, match="op"):
+            synthesize_hostile_trace(result, 10, op="scan")
+
+    def test_rejects_unknown_class(self):
+        result = cracked()
+        with pytest.raises(ValueError, match="no keys"):
+            synthesize_hostile_trace(result, 10, target_class=999)

@@ -1,0 +1,105 @@
+"""The conflict oracle: co-batching as a deterministic side channel."""
+
+import asyncio
+
+import pytest
+
+from repro.adversary import ConflictOracle
+from repro.adversary.oracle import OracleError
+from repro.serve import AdmissionConfig, BatchConfig, FaultPolicy, Frontend
+from repro.store import ShardedStore
+
+
+def make_frontend(scheme="traditional", n_shards=8, max_batch_size=16,
+                  max_queue_depth=1024, rate=None):
+    store = ShardedStore(n_shards=n_shards, scheme=scheme,
+                         shard_capacity=128)
+    return Frontend(
+        store,
+        batch=BatchConfig(max_batch_size=max_batch_size, max_wait_s=0.001),
+        admission=AdmissionConfig(rate=rate,
+                                  max_queue_depth=max_queue_depth),
+        policy=FaultPolicy(timeout_s=5.0, max_retries=0),
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestConstruction:
+    def test_rejects_too_small_batches(self):
+        async def scenario():
+            async with make_frontend(max_batch_size=2) as frontend:
+                ConflictOracle(frontend, reps=3)
+
+        with pytest.raises(ValueError, match="max_batch_size"):
+            run(scenario())
+
+    def test_rejects_nonpositive_reps(self):
+        async def scenario():
+            async with make_frontend() as frontend:
+                ConflictOracle(frontend, reps=0)
+
+        with pytest.raises(ValueError, match="reps"):
+            run(scenario())
+
+
+class TestColocated:
+    def test_matches_ground_truth_routing(self):
+        """colocated(a, b) answers exactly `shard_for(a) == shard_for(b)`
+        for every probe pair — the timing read is a faithful oracle."""
+
+        async def scenario():
+            async with make_frontend(n_shards=8) as frontend:
+                oracle = ConflictOracle(frontend, reps=3)
+                store = frontend.store
+                outcomes = []
+                for probe in range(24):
+                    observed = await oracle.colocated(probe, 0)
+                    truth = store.shard_for(probe) == store.shard_for(0)
+                    outcomes.append(observed == truth)
+                return outcomes
+
+        assert all(run(scenario()))
+
+    def test_positions_reflect_batch_order(self):
+        """A co-submitted burst of B same-shard keys drains as one
+        batch with positions 1..B; a different-shard key reads 1."""
+
+        async def scenario():
+            async with make_frontend(n_shards=8) as frontend:
+                oracle = ConflictOracle(frontend, reps=3)
+                # traditional: key & 7 — keys 8, 16, 24 share shard 0.
+                same = await oracle.batch_positions([8, 16, 24])
+                mixed = await oracle.batch_positions([8, 1])
+                return same, mixed
+
+        same, mixed = run(scenario())
+        assert same == [1, 2, 3]
+        assert mixed == [1, 1]
+
+    def test_probe_accounting(self):
+        async def scenario():
+            async with make_frontend() as frontend:
+                oracle = ConflictOracle(frontend, reps=3)
+                await oracle.colocated(1, 2)
+                await oracle.colocated(3, 4)
+                return oracle.probes, oracle.conflict_tests
+
+        probes, tests = run(scenario())
+        assert probes == 8  # two bursts of reps + 1
+        assert tests == 2
+
+    def test_throttled_burst_raises(self):
+        """A rejected probe yields no timing information — the oracle
+        refuses to guess rather than silently misclassify."""
+
+        async def scenario():
+            async with make_frontend(max_queue_depth=1) as frontend:
+                oracle = ConflictOracle(frontend, reps=3)
+                for _ in range(64):  # enough bursts to trip the queue cap
+                    await oracle.colocated(1, 9)
+
+        with pytest.raises(OracleError):
+            run(scenario())

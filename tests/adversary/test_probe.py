@@ -1,0 +1,148 @@
+"""The probe adversary: exact cracks, bucketing fallbacks, economics."""
+
+import asyncio
+
+import pytest
+
+from repro.adversary import ProbeAdversary, run_crack
+from repro.serve import AdmissionConfig, BatchConfig, FaultPolicy, Frontend
+from repro.store import ShardedStore
+
+
+def frontend_factory(scheme, n_shards=16):
+    def build():
+        store = ShardedStore(n_shards=n_shards, scheme=scheme,
+                             shard_capacity=256)
+        return Frontend(
+            store,
+            batch=BatchConfig(max_batch_size=32, max_wait_s=0.001),
+            admission=AdmissionConfig(rate=None, max_queue_depth=4096),
+            policy=FaultPolicy(timeout_s=5.0, max_retries=0),
+        )
+
+    return build
+
+
+def crack(scheme, **kwargs):
+    kwargs.setdefault("key_bits", 10)
+    kwargs.setdefault("crack_keys", 64)
+    return run_crack(frontend_factory(scheme), **kwargs)
+
+
+class TestLinearSchemes:
+    @pytest.mark.parametrize("scheme", ["traditional", "xor"])
+    def test_exact_recovery(self, scheme):
+        """GF(2)-linear schemes are fully reconstructed: the model's
+        class prediction matches true routing for every universe key,
+        not just the held-out sample."""
+        result = crack(scheme)
+        assert result.method == "gf2"
+        assert result.verified
+        assert result.accuracy == 1.0
+
+        store = ShardedStore(n_shards=16, scheme=scheme,
+                             shard_capacity=256)
+        rep_shard = {j: store.shard_for(rep)
+                     for j, rep in enumerate(result.reps)}
+        for key in range(1 << result.key_bits):
+            predicted = result.predict(key)
+            assert predicted is not None
+            assert rep_shard[predicted] == store.shard_for(key)
+
+    def test_linear_crack_needs_no_bucketing(self):
+        result = crack("traditional")
+        assert result.buckets == {}
+        assert len(result.basis_labels) == result.key_bits
+
+
+class TestPrimeSchemes:
+    @pytest.mark.parametrize("scheme", ["pmod", "pdisp", "keyed"])
+    def test_forces_bucketing(self, scheme):
+        """Non-GF(2)-linear schemes fail the held-out verification and
+        fall to per-key bucketing — and the buckets are still correct
+        (each one is a true shard equivalence class)."""
+        result = crack(scheme)
+        assert result.method == "bucketing"
+        assert not result.verified
+
+        store = ShardedStore(n_shards=16, scheme=scheme,
+                             shard_capacity=256)
+        for class_id, keys in result.buckets.items():
+            shards = {store.shard_for(key) for key in keys}
+            assert len(shards) == 1, f"class {class_id} spans {shards}"
+
+    def test_prime_probe_bill_exceeds_linear(self):
+        """The attack-cost asymmetry the adversary experiment curves:
+        bucketing pays per key, the GF(2) solve pays once."""
+        linear = crack("traditional")
+        prime = crack("pmod")
+        assert prime.probes > linear.probes
+
+
+class TestDeterminism:
+    def test_same_seed_same_crack(self):
+        first = crack("pdisp", seed=3)
+        second = crack("pdisp", seed=3)
+        assert first.probes == second.probes
+        assert first.conflict_tests == second.conflict_tests
+        assert first.buckets == second.buckets
+        assert first.reps == second.reps
+
+
+class TestValidation:
+    def test_key_bits_bounds(self):
+        async def scenario(bits):
+            async with frontend_factory("traditional")() as frontend:
+                ProbeAdversary(frontend, key_bits=bits)
+
+        with pytest.raises(ValueError, match="key_bits"):
+            asyncio.run(scenario(0))
+        with pytest.raises(ValueError, match="key_bits"):
+            asyncio.run(scenario(40))
+
+    def test_needs_two_classes(self):
+        async def scenario():
+            async with frontend_factory("traditional",
+                                        n_shards=2)() as frontend:
+                ProbeAdversary(frontend, n_classes=1)
+
+        with pytest.raises(ValueError, match="classes"):
+            asyncio.run(scenario())
+
+    def test_crack_keys_capped_by_universe(self):
+        async def scenario():
+            async with frontend_factory("traditional")() as frontend:
+                return ProbeAdversary(frontend, key_bits=4,
+                                      crack_keys=1000).crack_keys
+
+        assert asyncio.run(scenario()) == 16
+
+
+class TestClusterTarget:
+    def test_cracks_key_to_node_map(self):
+        """Pointed at a frontend over a Cluster (which batches per
+        *node*), the identical probes learn the key->node map: every
+        recovered class is one node's key set."""
+        from repro.cluster import Cluster, ReplicationConfig
+
+        cluster_box = {}
+
+        def build():
+            cluster = Cluster(n_nodes=5, node_scheme="pmod",
+                              shard_scheme="pmod", shards_per_node=8,
+                              shard_capacity=64,
+                              replication=ReplicationConfig(replicas=2))
+            cluster_box["cluster"] = cluster
+            return Frontend(
+                cluster,
+                batch=BatchConfig(max_batch_size=16, max_wait_s=0.001),
+                admission=AdmissionConfig(rate=None, max_queue_depth=4096),
+                policy=FaultPolicy(timeout_s=5.0, max_retries=0),
+            )
+
+        result = run_crack(build, key_bits=8, crack_keys=32)
+        cluster = cluster_box["cluster"]
+        assert result.n_classes == cluster.n_nodes
+        for keys in result.buckets.values() or [result.reps]:
+            nodes = {cluster.shard_for(key) for key in keys}
+            assert len(nodes) == 1

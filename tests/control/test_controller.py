@@ -37,14 +37,24 @@ class FakeSloEngine:
 
 
 class FakeDetector:
-    def __init__(self, tripped=()):
+    def __init__(self, tripped=(), adversary=()):
         self._tripped = list(tripped)
+        self._adversary = list(adversary)
 
     def evaluate(self):
         return {}
 
     def tripped(self):
         return list(self._tripped)
+
+    def grade_adversary(self, telemetry):
+        return list(self._adversary)
+
+    def adversary_tripped(self):
+        return list(self._adversary)
+
+    def adversary_streak(self, scheme):
+        return 1 if any(s.scheme == scheme for s in self._adversary) else 0
 
 
 def make_controller(scheme="pmod", n_shards=61, alerts=(), tripped=(),

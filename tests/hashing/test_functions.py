@@ -24,8 +24,8 @@ def indexing(request):
 class TestCommonContract:
     def test_registry_lists_all_functions(self):
         assert available_indexings() == [
-            "gf2", "multiplicative", "pdisp", "pmod", "traditional",
-            "xor", "xorfold",
+            "gf2", "keyed", "keyed_pdisp", "multiplicative", "pdisp",
+            "pmod", "traditional", "xor", "xorfold",
         ]
 
     def test_unknown_key_raises(self):

@@ -1,0 +1,151 @@
+"""Tests for the keyed (secret) indexing functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing import (
+    MERSENNE_PRIME,
+    KeyedDisplacementIndexing,
+    KeyedMersenneIndexing,
+    XorIndexing,
+    derive_constants,
+    make_indexing,
+    mersenne_fold,
+    sequence_invariance_violations,
+    strided_addresses,
+)
+
+KEYS = (0, 1, 0xDEADBEEF, 0x9E3779B97F4A7C15, 2**64 - 1)
+
+
+class TestDeriveConstants:
+    @pytest.mark.parametrize("key", KEYS)
+    def test_bounds(self, key):
+        a, b = derive_constants(key)
+        assert 0 < a < MERSENNE_PRIME
+        assert a % 2 == 1
+        assert 0 <= b < MERSENNE_PRIME
+
+    def test_related_keys_yield_unrelated_constants(self):
+        """blake2b whitening: k and k+1 must not produce nearby
+        multipliers an attacker could extrapolate between."""
+        a0, b0 = derive_constants(100)
+        a1, b1 = derive_constants(101)
+        assert a0 != a1 and b0 != b1
+        assert abs(a0 - a1) > 1 << 32
+
+    def test_deterministic(self):
+        assert derive_constants(42) == derive_constants(42)
+
+
+class TestMersenneFold:
+    @pytest.mark.parametrize("value", [
+        0, 1, MERSENNE_PRIME - 1, MERSENNE_PRIME, MERSENNE_PRIME + 1,
+        (1 << 122) - 1, MERSENNE_PRIME**2,
+    ])
+    def test_edge_values(self, value):
+        assert mersenne_fold(value) == value % MERSENNE_PRIME
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 122) - 1))
+    def test_matches_modulo(self, value):
+        assert mersenne_fold(value) == value % MERSENNE_PRIME
+
+
+class TestKeyedMersenne:
+    def test_matches_naive_bigint_hash(self):
+        """The 31-bit-split uint64 vector path computes exactly
+        ``((a·x + b) mod p) mod n_set`` — checked against unbounded
+        Python integers."""
+        fn = KeyedMersenneIndexing(2048, key=0xDEADBEEF)
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 2**64, size=4096, dtype=np.uint64)
+        expected = [
+            ((fn.multiplier * (int(a) % MERSENNE_PRIME) + fn.offset)
+             % MERSENNE_PRIME) % fn.n_sets
+            for a in addrs
+        ]
+        assert fn.index_array(addrs).tolist() == expected
+
+    @pytest.mark.parametrize("key", KEYS)
+    def test_vectorized_matches_scalar_for_every_key(self, key):
+        fn = KeyedMersenneIndexing(256, key=key)
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 2**64, size=2048, dtype=np.uint64)
+        assert fn.index_array(addrs).tolist() == [
+            fn.index(int(a)) for a in addrs
+        ]
+
+    def test_exact_prime_set_count(self):
+        fn = KeyedMersenneIndexing(64, n_sets=61)
+        assert fn.n_sets == 61
+        addrs = np.arange(100_000, dtype=np.uint64)
+        sets = fn.index_array(addrs)
+        assert sets.min() >= 0 and sets.max() < 61
+
+    def test_rejects_bad_set_count(self):
+        with pytest.raises(ValueError, match="n_sets"):
+            KeyedMersenneIndexing(64, n_sets=65)
+
+
+class TestKeyedDisplacement:
+    @pytest.mark.parametrize("key", KEYS)
+    def test_vectorized_matches_scalar_for_every_key(self, key):
+        fn = KeyedDisplacementIndexing(2048, key=key)
+        rng = np.random.default_rng(5)
+        addrs = rng.integers(0, 2**64, size=2048, dtype=np.uint64)
+        assert fn.index_array(addrs).tolist() == [
+            fn.index(int(a)) for a in addrs
+        ]
+
+    def test_displacement_is_odd(self):
+        """Odd d is invertible mod 2^b — the precondition for pDisp's
+        Property 2 argument to carry over to the keyed variant."""
+        for key in KEYS:
+            assert KeyedDisplacementIndexing(512, key=key).displacement % 2 == 1
+
+    def test_property2_partial_invariance(self):
+        """Section 3 Property 2: the keyed displacement keeps pDisp's
+        partial sequence invariance — far fewer violations than XOR on
+        the paper's strided sequences, for any secret."""
+        xor = XorIndexing(2048)
+        addrs = strided_addresses(3, 20000)
+        v_xor = sequence_invariance_violations(xor, addrs)
+        for key in (1, 0xDEADBEEF):
+            kd = KeyedDisplacementIndexing(2048, key=key)
+            assert sequence_invariance_violations(kd, addrs) < v_xor
+
+
+class TestRekeying:
+    @pytest.mark.parametrize("scheme", ["keyed", "keyed_pdisp"])
+    def test_rekeyed_preserves_geometry(self, scheme):
+        fn = make_indexing(scheme, 1024)
+        fresh = fn.rekeyed(12345)
+        assert type(fresh) is type(fn)
+        assert fresh.n_sets == fn.n_sets
+        assert fresh.n_sets_physical == fn.n_sets_physical
+        assert fresh.key == 12345
+
+    def test_rekeyed_preserves_exact_prime_count(self):
+        fn = KeyedMersenneIndexing(64, n_sets=61)
+        assert fn.rekeyed(7).n_sets == 61
+
+    @pytest.mark.parametrize("scheme", ["keyed", "keyed_pdisp"])
+    def test_fresh_key_scrambles_the_map(self, scheme):
+        """Rotation's whole value: under a new secret most addresses
+        land elsewhere, so a learned key->shard table goes stale."""
+        fn = make_indexing(scheme, 256)
+        fresh = fn.rekeyed(987654321)
+        addrs = np.arange(1 << 14, dtype=np.uint64)
+        moved = np.count_nonzero(
+            fn.index_array(addrs) != fresh.index_array(addrs))
+        assert moved > (1 << 14) * 0.9
+
+    @pytest.mark.parametrize("scheme", ["keyed", "keyed_pdisp"])
+    def test_same_key_same_map(self, scheme):
+        fn = make_indexing(scheme, 256)
+        clone = fn.rekeyed(fn.key)
+        addrs = np.arange(4096, dtype=np.uint64)
+        assert np.array_equal(fn.index_array(addrs),
+                              clone.index_array(addrs))

@@ -1,6 +1,7 @@
 """Pre-declared metric schema: stable snapshots before first traffic."""
 
 from repro.obs import (
+    ADVERSARY_METRICS,
     CLUSTER_METRICS,
     CONTROL_METRICS,
     CORE_COUNTERS,
@@ -17,7 +18,8 @@ from repro.obs import (
 #: Every declared layer's name -> kind mapping, in one place so the
 #: parity tests below cover new layers automatically.
 DECLARED_LAYERS = (STORE_METRICS, SERVE_METRICS, JOURNAL_METRICS,
-                   HEALTH_METRICS, CONTROL_METRICS, CLUSTER_METRICS)
+                   HEALTH_METRICS, CONTROL_METRICS, CLUSTER_METRICS,
+                   ADVERSARY_METRICS)
 
 
 class TestDeclaredSchema:
@@ -150,6 +152,47 @@ class TestDeclaredSchema:
             assert counter.value == 0
         for histogram in registry.histograms():
             assert histogram.as_dict()["count"] == 0
+
+    def test_adversary_declaration_parity_with_emitting_code(self):
+        """Every ``adversary.*`` series the attack tooling emits is
+        pre-declared: a cold snapshot carries exactly the declared
+        adversary names, and a full crack + hostile-trace synthesis
+        adds only *labeled* variants of declared names."""
+        import asyncio
+
+        from repro.adversary import ProbeAdversary, synthesize_hostile_trace
+        from repro.obs import Journal, set_journal
+        from repro.serve import AdmissionConfig, BatchConfig, Frontend
+        from repro.store import ShardedStore
+
+        registry, _ = enable_observability()
+        cold = {name for name in _names(registry)
+                if name.startswith("adversary.")}
+
+        set_journal(Journal())
+
+        async def drill():
+            store = ShardedStore(n_shards=4, scheme="traditional",
+                                 shard_capacity=64, registry=registry)
+            async with Frontend(
+                    store,
+                    batch=BatchConfig(max_batch_size=8, max_wait_s=0.001),
+                    admission=AdmissionConfig(rate=None,
+                                              max_queue_depth=1024),
+            ) as frontend:
+                adversary = ProbeAdversary(frontend, key_bits=4,
+                                           crack_keys=8,
+                                           registry=registry)
+                return await adversary.crack()
+
+        result = asyncio.run(drill())
+        synthesize_hostile_trace(result, 16, registry=registry)
+
+        warm = {name for name in _names(registry)
+                if name.startswith("adversary.")}
+        declared = set(ADVERSARY_METRICS)
+        assert cold == declared
+        assert warm == declared
 
     def test_declared_names_do_not_collide_across_layers(self):
         for i, left in enumerate(DECLARED_LAYERS):

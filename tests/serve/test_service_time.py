@@ -1,0 +1,127 @@
+"""Virtual-clock service time: deterministic batch-position latency.
+
+``Response.latency_s`` is wall-clock and scheduler-dependent;
+``Response.service_time_s`` is the executor's virtual clock — the k-th
+live item of a batch reads ``k × VIRTUAL_TICK_S``.  The adversary's
+conflict oracle (and any latency-shaped analysis that must replay
+bit-for-bit) reads the virtual clock, so its semantics are pinned here.
+"""
+
+import asyncio
+
+from repro.serve import (
+    VIRTUAL_TICK_S,
+    AdmissionConfig,
+    BatchConfig,
+    FaultPolicy,
+    Frontend,
+    closed_loop,
+)
+from repro.serve.frontend import Request
+from repro.store import ShardedStore
+
+
+def make_frontend(n_shards=8, max_batch_size=16, max_queue_depth=1024):
+    store = ShardedStore(n_shards=n_shards, scheme="traditional",
+                         shard_capacity=128)
+    return Frontend(
+        store,
+        batch=BatchConfig(max_batch_size=max_batch_size, max_wait_s=0.001),
+        admission=AdmissionConfig(rate=None,
+                                  max_queue_depth=max_queue_depth),
+        policy=FaultPolicy(timeout_s=5.0, max_retries=0),
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBatchPositions:
+    def test_lone_request_reads_one_tick(self):
+        async def scenario():
+            async with make_frontend() as frontend:
+                return await frontend.get(1)
+
+        response = run(scenario())
+        assert response.status == "ok"
+        assert response.service_time_s == VIRTUAL_TICK_S
+
+    def test_cosubmitted_same_shard_burst_reads_positions(self):
+        """A burst of B same-shard keys drains as one batch: service
+        times are exactly (1..B) × tick, in submission order."""
+
+        async def scenario():
+            async with make_frontend(n_shards=8) as frontend:
+                # traditional @ 8: keys 8, 16, 24, 32 all route to shard 0.
+                return await asyncio.gather(
+                    *(frontend.get(key) for key in (8, 16, 24, 32)))
+
+        responses = run(scenario())
+        assert [r.service_time_s for r in responses] == [
+            (k + 1) * VIRTUAL_TICK_S for k in range(4)]
+
+    def test_distinct_shards_all_read_one_tick(self):
+        async def scenario():
+            async with make_frontend(n_shards=8) as frontend:
+                return await asyncio.gather(
+                    *(frontend.get(key) for key in (0, 1, 2, 3)))
+
+        responses = run(scenario())
+        assert {r.service_time_s for r in responses} == {VIRTUAL_TICK_S}
+
+    def test_deterministic_across_runs(self):
+        """The whole point of the virtual clock: rerunning the same
+        co-submitted burst yields bit-identical service times, while
+        wall-clock latency_s is whatever the scheduler felt like."""
+
+        async def scenario():
+            async with make_frontend(n_shards=8) as frontend:
+                responses = await asyncio.gather(
+                    *(frontend.get(key) for key in range(12)))
+                return [r.service_time_s for r in responses]
+
+        assert run(scenario()) == run(scenario())
+
+
+class TestResponseSurface:
+    def test_as_dict_carries_service_time(self):
+        async def scenario():
+            async with make_frontend() as frontend:
+                return await frontend.get(5)
+
+        payload = run(scenario()).as_dict()
+        assert payload["service_time_s"] == VIRTUAL_TICK_S
+
+    def test_rejected_request_reads_zero(self):
+        """A throttled request never reaches an executor batch — its
+        virtual clock must stay at 0.0, not inherit a stale reading."""
+
+        async def scenario():
+            async with make_frontend(max_queue_depth=1) as frontend:
+                responses = await asyncio.gather(
+                    *(frontend.get(8 * k) for k in range(32)))
+                return responses
+
+        responses = run(scenario())
+        rejected = [r for r in responses if r.status == "rejected"]
+        assert rejected
+        assert all(r.service_time_s == 0.0 for r in rejected)
+
+
+class TestLoadgenReport:
+    def test_report_summarizes_service_time(self):
+        async def scenario():
+            async with make_frontend() as frontend:
+                requests = [Request("get", key) for key in range(64)]
+                return await closed_loop(frontend, requests,
+                                         concurrency=8)
+
+        report = run(scenario())
+        summary = report.service_time
+        assert set(summary) == {"mean", "p50", "p95", "p99", "max"}
+        # Every served request pays at least one tick; a batch of 8
+        # co-submitted clients can never exceed 8 positions.
+        assert summary["p50"] >= VIRTUAL_TICK_S
+        assert summary["max"] <= 8 * VIRTUAL_TICK_S
+        assert report.as_dict()["service_time"] == summary

@@ -17,8 +17,8 @@ from repro.store.selector import canonical_key
 class TestRegistry:
     def test_available_selectors(self):
         assert available_selectors() == [
-            "pdisp", "pdisp19", "pdisp31", "pdisp37", "pmod",
-            "traditional", "xor",
+            "keyed", "keyed_pdisp", "pdisp", "pdisp19", "pdisp31",
+            "pdisp37", "pmod", "traditional", "xor",
         ]
 
     def test_unknown_scheme_raises(self):

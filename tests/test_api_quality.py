@@ -13,6 +13,7 @@ import pytest
 
 PUBLIC_PACKAGES = (
     "repro",
+    "repro.adversary",
     "repro.cache",
     "repro.cpu",
     "repro.experiments",
