@@ -203,6 +203,11 @@ class Cluster:
             schedule is applied at op boundaries.
         recovery_budget: per-chunk key budget for the re-replication
             drain run by :meth:`recover_node`.
+        node_registries: give every node its own enabled, fully
+            declared :class:`MetricsRegistry` (each member is a
+            separate process in the model, so its metrics are private
+            until scraped) plus a per-node request-latency sketch the
+            federation layer merges into cluster-wide quantiles.
     """
 
     def __init__(self, n_nodes: int = 8, node_scheme: str = "pmod",
@@ -214,7 +219,8 @@ class Cluster:
                  payload_bytes: int = 512, tick_s: float = 50e-6,
                  injector: Optional[NodeFaultInjector] = None,
                  recovery_budget: int = 128,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 node_registries: bool = False):
         if payload_bytes < 1:
             raise ValueError("payload_bytes must be >= 1")
         if tick_s <= 0:
@@ -222,13 +228,19 @@ class Cluster:
         if recovery_budget < 1:
             raise ValueError("recovery_budget must be >= 1")
         node_table = RoutingTable.create(node_scheme, n_nodes)
-        self.nodes: List[StoreNode] = [
-            StoreNode(i, ShardedStore(
+        self.nodes: List[StoreNode] = []
+        for i in range(node_table.n_shards):
+            node_registry = None
+            if node_registries:
+                from repro.obs import declare_core_metrics
+                node_registry = MetricsRegistry(enabled=True)
+                declare_core_metrics(node_registry)
+            store = ShardedStore(
                 shard_capacity=shard_capacity, assoc=assoc,
                 replacement=replacement,
-                routing=RoutingTable.create(shard_scheme, shards_per_node)))
-            for i in range(node_table.n_shards)
-        ]
+                routing=RoutingTable.create(shard_scheme, shards_per_node),
+                registry=node_registry)
+            self.nodes.append(StoreNode(i, store, registry=node_registry))
         self.router = ClusterRouter(
             node_table, [node.store.routing for node in self.nodes])
         self.replication = replication or ReplicationConfig()
@@ -284,6 +296,17 @@ class Cluster:
         self._state_gauges = [
             registry.gauge("cluster.node.state", scheme=scheme, node=i)
             for i in range(self.n_nodes)
+        ]
+        # Per-node request-latency sketches, bound on each node's *own*
+        # registry: a node only ever sees the ops it is primary for, so
+        # only a federated merge of these sketches yields the true
+        # cluster-wide latency distribution.
+        self._node_sketches = [
+            node.registry.histogram("cluster.node.request_latency_s",
+                                    sketch=True, scheme=scheme,
+                                    node=node.node_id)
+            if node.registry is not None else None
+            for node in self.nodes
         ]
 
     # -- identity (Frontend-compatible surface) -------------------------
@@ -372,9 +395,13 @@ class Cluster:
         return now
 
     def _finish_op(self, now_s: float, completions: List[float],
-                   quorum: int) -> float:
+                   quorum: int, primary: Optional[int] = None) -> float:
         """Sim latency of one op: the quorum-th fastest replica
-        completion (or the failed-op penalty when nothing responded)."""
+        completion (or the failed-op penalty when nothing responded).
+
+        ``primary`` attributes the op to the node owning the key so the
+        latency also lands in that node's private sketch (the series
+        federation merges into cluster-wide quantiles)."""
         if completions:
             completions.sort()
             done = completions[min(quorum, len(completions)) - 1]
@@ -384,6 +411,10 @@ class Cluster:
         self._latencies.append(latency)
         if self._observed:
             self._latency_hist.observe(latency)
+        if primary is not None:
+            sketch = self._node_sketches[primary]
+            if sketch is not None:
+                sketch.observe(latency)
         return latency
 
     def _replica_error(self) -> None:
@@ -459,7 +490,8 @@ class Cluster:
         if not clean:
             self._quorum_miss("put", acks, self.replication.write_quorum)
         latency = self._finish_op(now, completions,
-                                  self.replication.write_quorum)
+                                  self.replication.write_quorum,
+                                  primary=placement[0])
         if ctx is not None:
             end = perf_counter()
             ctx.stage("settle", settle_from, end - settle_from,
@@ -521,7 +553,8 @@ class Cluster:
                     if self._observed:
                         self._repair_counter.inc()
         latency = self._finish_op(now, completions,
-                                  self.replication.read_quorum)
+                                  self.replication.read_quorum,
+                                  primary=placement[0])
         if ctx is not None:
             end = perf_counter()
             ctx.stage("settle", settle_from, end - settle_from,
@@ -560,7 +593,8 @@ class Cluster:
             ctx.stage("contact", fan_from, settle_from - fan_from,
                       replicas=len(placement))
         latency = self._finish_op(now, completions,
-                                  self.replication.write_quorum)
+                                  self.replication.write_quorum,
+                                  primary=placement[0])
         if ctx is not None:
             end = perf_counter()
             ctx.stage("settle", settle_from, end - settle_from,

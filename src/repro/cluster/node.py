@@ -75,11 +75,16 @@ class StoreNode:
         service_s: modeled per-op service time, charged to the
             interconnect clock on top of the fabric hops.
         degraded_penalty_s: extra service time while ``degraded``.
+        registry: the node's *own* metrics registry — each cluster
+            member is a separate process in the model, so its metrics
+            are private until a federation scrape pulls them.  None
+            leaves the node unscrapable (pre-federation behaviour).
     """
 
     def __init__(self, node_id: int, store: ShardedStore,
                  service_s: float = 5e-6,
-                 degraded_penalty_s: float = 250e-6):
+                 degraded_penalty_s: float = 250e-6,
+                 registry=None):
         if node_id < 0:
             raise ValueError("node_id must be >= 0")
         if service_s < 0 or degraded_penalty_s < 0:
@@ -88,6 +93,8 @@ class StoreNode:
         self.store = store
         self.service_s = service_s
         self.degraded_penalty_s = degraded_penalty_s
+        self.registry = registry
+        self._snapshot_version = 0
         self.state = NodeState.UP
         self.failures = 0
         self.recoveries = 0
@@ -179,6 +186,31 @@ class StoreNode:
     @property
     def occupancy(self) -> int:
         return len(self.store)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The node's scrape endpoint: a versioned metrics snapshot.
+
+        The standard snapshot document plus a ``fed`` block carrying
+        the node id, a monotonically increasing per-node version (so
+        the aggregator can detect and skip stale re-deliveries), and
+        the node's lifecycle state.  Raises :class:`NodeDownError`
+        when down — a crashed node's exporter is gone too, which is
+        exactly the staleness the federation layer must surface.
+        """
+        self._check_live()
+        if self.registry is None:
+            raise RuntimeError(
+                f"node {self.node_id} has no registry to scrape "
+                f"(build the cluster with node_registries=True)")
+        from repro.obs.sinks import metrics_snapshot
+        self._snapshot_version += 1
+        doc = metrics_snapshot(self.registry)
+        doc["fed"] = {
+            "node": self.node_id,
+            "version": self._snapshot_version,
+            "state": self.state.value,
+        }
+        return doc
 
     def describe(self) -> Dict[str, object]:
         """JSON-friendly summary for telemetry and journal payloads."""

@@ -159,6 +159,11 @@ class RemediationController:
             telemetry through the detector's adversary mode, and an
             active ``health.adversary`` page on the current scheme
             becomes a ``key_rotation`` action.
+        federation: optional :class:`~repro.obs.fed.Federation`; when
+            given, every observe first collects a fresh cluster-wide
+            merge and rebinds the SLO engine (and detector) onto it,
+            so decisions run on federated quantiles instead of
+            whatever single process the engine was built against.
     """
 
     def __init__(self, store: ShardedStore, slo_engine: SloEngine,
@@ -166,7 +171,8 @@ class RemediationController:
                  config: Optional[ControlConfig] = None,
                  journal: Optional[Journal] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 cluster=None, rotator: Optional[KeyRotator] = None):
+                 cluster=None, rotator: Optional[KeyRotator] = None,
+                 federation=None):
         self.store = store
         self.slo_engine = slo_engine
         self.detector = detector
@@ -175,6 +181,7 @@ class RemediationController:
         self._registry = registry
         self.cluster = cluster
         self.rotator = rotator
+        self.federation = federation
         #: schemes rotated for an adversary page whose resolution has
         #: not yet been journaled as ``adversary.mitigated``.
         self._awaiting_mitigation: set = set()
@@ -200,6 +207,13 @@ class RemediationController:
 
     def observe(self) -> Observation:
         """Evaluate the health layer and drain fresh fault events."""
+        if self.federation is not None:
+            now_s = (self.cluster.virtual_now_s
+                     if self.cluster is not None else 0.0)
+            merged = self.federation.collect(now_s)
+            self.slo_engine.rebind(merged)
+            if self.detector is not None:
+                self.detector.rebind(merged)
         self.slo_engine.evaluate()
         if self.detector is not None:
             if self.rotator is not None:

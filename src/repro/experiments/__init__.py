@@ -24,6 +24,7 @@ module                      reproduces
 ``reshard``                 live prime-ladder reshard contract (extension)
 ``cluster``                 multi-node loss/recovery drill (extension)
 ``adversary``               hash cracking vs scheme + keyed rotation (extension)
+``federation``              cluster-wide telemetry federation drill (extension)
 ========================== ======================================
 
 Each module exposes ``run(...)``, ``render(result)`` and a ``main()``
@@ -65,6 +66,7 @@ EXPERIMENT_MODULES = (
     "reshard",
     "cluster",
     "adversary",
+    "federation",
 )
 
 

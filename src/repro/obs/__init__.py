@@ -50,9 +50,11 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL,
     NullInstrument,
+    SketchHistogram,
     get_registry,
     set_registry,
 )
+from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
 from repro.obs.sinks import (
     SNAPSHOT_SCHEMA_VERSION,
     metrics_snapshot,
@@ -68,12 +70,15 @@ __all__ = [
     "CLUSTER_METRICS",
     "CONTROL_METRICS",
     "CORE_COUNTERS",
+    "DEFAULT_RELATIVE_ACCURACY",
     "EVENT_SCHEMA_VERSION",
+    "FED_METRICS",
     "HEALTH_METRICS",
     "JOURNAL_METRICS",
     "Journal",
     "JournalEvent",
     "OBS_METRICS",
+    "QuantileSketch",
     "SERVE_METRICS",
     "STORE_METRICS",
     "Counter",
@@ -86,6 +91,7 @@ __all__ = [
     "NULL",
     "NullInstrument",
     "SNAPSHOT_SCHEMA_VERSION",
+    "SketchHistogram",
     "Span",
     "SpanTracer",
     "Stage",
@@ -223,11 +229,36 @@ CLUSTER_METRICS = {
     "cluster.node_balance": "gauge",
     "cluster.link.utilization": "gauge",
     "cluster.op.sim_latency_s": "histogram",
+    "cluster.node.request_latency_s": "sketch",
 }
 
 #: Attribution-layer series (`repro.obs.attrib`), same contract.
 OBS_METRICS = {
     "obs.flight_dumps": "counter",
+}
+
+#: Federation-layer series (`repro.obs.fed` + `repro.obs.tsdb`), same
+#: contract.  Scrape/merge counters rate the telemetry plane's own
+#: traffic; ``fed.node.staleness_s`` holds each node's snapshot age at
+#: the last merge (labeled per node on first scrape, the unlabeled
+#: declaration keeps snapshots schema-stable).
+FED_METRICS = {
+    "fed.scrapes": "counter",
+    "fed.scrape_misses": "counter",
+    "fed.merges": "counter",
+    "fed.merge_latency_s": "histogram",
+    "fed.tsdb.appends": "counter",
+    "fed.tsdb.evictions": "counter",
+    "fed.node.staleness_s": "gauge",
+}
+
+#: Declaration kind -> registry factory call.  ``"sketch"`` declares a
+#: mergeable :class:`SketchHistogram` under the histogram namespace.
+_DECLARERS = {
+    "counter": lambda registry, name: registry.counter(name),
+    "gauge": lambda registry, name: registry.gauge(name),
+    "histogram": lambda registry, name: registry.histogram(name),
+    "sketch": lambda registry, name: registry.histogram(name, sketch=True),
 }
 
 
@@ -237,15 +268,18 @@ def declare_core_metrics(registry: MetricsRegistry = None) -> None:
     :data:`SERVE_METRICS` / :data:`JOURNAL_METRICS` /
     :data:`HEALTH_METRICS` / :data:`CONTROL_METRICS` /
     :data:`CLUSTER_METRICS` / :data:`ADVERSARY_METRICS` /
-    :data:`OBS_METRICS` series, all at zero."""
-    registry = registry or get_registry()
+    :data:`OBS_METRICS` / :data:`FED_METRICS` series, all at zero."""
+    # Explicit None check: an empty registry is falsy (len() == 0), so
+    # ``registry or get_registry()`` would silently drop a fresh one.
+    if registry is None:
+        registry = get_registry()
     for name in CORE_COUNTERS:
         registry.counter(name)
     for metrics in (STORE_METRICS, SERVE_METRICS, JOURNAL_METRICS,
                     HEALTH_METRICS, CONTROL_METRICS, CLUSTER_METRICS,
-                    ADVERSARY_METRICS, OBS_METRICS):
+                    ADVERSARY_METRICS, OBS_METRICS, FED_METRICS):
         for name, kind in metrics.items():
-            getattr(registry, kind)(name)
+            _DECLARERS[kind](registry, name)
 
 
 def enable_observability(clear: bool = True):

@@ -25,6 +25,22 @@ leave the history untouched; a clean run appends itself so the
 trajectory grows.  A metric with fewer than :data:`MIN_HISTORY_RUNS`
 historical samples is recorded but not yet gated (a median of one run
 is not a baseline).
+
+On top of the median gate sits a **trend pass**: a median compares one
+run against the middle of history and therefore cannot see a slow
+bleed — five consecutive 2% steps never clear a 25% noise floor, yet
+they are a 10% regression with an unmistakable direction.
+:func:`trend_check` runs a Mann-Kendall monotonic-trend test over each
+metric's full history series (non-parametric: it counts concordant
+pairs, so one noisy spike cannot fake or mask a trend) and fits a
+Theil-Sen slope (the median of pairwise slopes — same robustness
+story) to report *how fast* the metric is moving.  A metric trips when
+the trend is statistically significant (``|z| >=`` 1.645, one-sided
+95%), points in the bad direction, and the fitted slope exceeds
+:data:`TREND_SLOPE_FLOOR` per run relative to the series median —
+direction alone is not a page if the drift is microscopic.
+``make bench-trend`` prints the fitted slope table for every series so
+the raw-speed push has a visible trajectory between gates.
 """
 
 from __future__ import annotations
@@ -43,14 +59,23 @@ __all__ = [
     "DEFAULT_HISTORY_NAME",
     "DEFAULT_NOISE_FLOOR",
     "HISTORY_SCHEMA_VERSION",
+    "MIN_TREND_RUNS",
     "Regression",
+    "TREND_SLOPE_FLOOR",
+    "TREND_Z_THRESHOLD",
+    "TrendAlert",
     "append_history",
     "check",
     "extract_metrics",
     "load_bench_files",
     "load_history",
+    "mann_kendall",
+    "metric_directions",
     "metric_trajectories",
     "main",
+    "theil_sen_slope",
+    "trend_check",
+    "trend_table",
 ]
 
 #: History document version; bump on incompatible change.
@@ -68,6 +93,19 @@ MAX_HISTORY_ENTRIES = 40
 
 #: Historical samples a metric needs before it is gated.
 MIN_HISTORY_RUNS = 2
+
+#: History entries a series needs before the trend pass judges it
+#: (Mann-Kendall below 5 points has no meaningful significance).
+MIN_TREND_RUNS = 5
+
+#: One-sided 95% normal quantile: |z| at or above this is a
+#: statistically significant monotonic trend.
+TREND_Z_THRESHOLD = 1.645
+
+#: Minimum fitted Theil-Sen slope, as a fraction of the series median
+#: *per run*, for a significant bad-direction trend to trip — a real
+#: but microscopic drift is a table row, not a failed gate.
+TREND_SLOPE_FLOOR = 0.01
 
 #: Gated metrics per bench document (keyed by the file's ``bench``
 #: field): (metric name, path into the document, direction).
@@ -115,7 +153,20 @@ BENCH_METRICS: Dict[str, Tuple[Tuple[str, Tuple[str, ...], str], ...]] = {
         ("probe_factor", ("probe_factor",), "higher"),
         ("time_to_mitigate_s", ("time_to_mitigate_s",), "lower"),
     ),
+    "fed": (
+        ("scrape_rps", ("scrape_rps",), "higher"),
+        ("merge_ns_per_series", ("merge_ns_per_series",), "lower"),
+        ("tsdb_append_rps", ("tsdb_append_rps",), "higher"),
+    ),
 }
+
+
+def metric_directions() -> Dict[str, str]:
+    """``"<bench>.<metric>" -> direction`` for every gated metric —
+    the map the trend pass uses to decide which way is "worse"."""
+    return {f"{bench}.{metric}": direction
+            for bench, rows in BENCH_METRICS.items()
+            for metric, _, direction in rows}
 
 
 @dataclass(frozen=True)
@@ -235,6 +286,135 @@ def metric_trajectories(history: Mapping[str, Any]) -> Dict[str, List[float]]:
     return series
 
 
+# -- trend detection ---------------------------------------------------
+
+
+def theil_sen_slope(values: Sequence[float]) -> float:
+    """Theil-Sen estimator: the median of all pairwise slopes.
+
+    Run index is the x-axis, so the result reads "units per run".
+    Robust to outliers (breakdown point ~29%): one bad benchmark run
+    shifts a handful of pairwise slopes, not the median of them.
+    """
+    n = len(values)
+    if n < 2:
+        return 0.0
+    slopes = [(values[j] - values[i]) / (j - i)
+              for i in range(n) for j in range(i + 1, n)]
+    return statistics.median(slopes)
+
+
+def mann_kendall(values: Sequence[float]) -> Tuple[int, float]:
+    """Mann-Kendall monotonic-trend test: ``(S, z)``.
+
+    ``S`` counts concordant minus discordant pairs; ``z`` is the
+    continuity-corrected normal approximation with tie-corrected
+    variance, positive for an upward trend.  Non-parametric — it sees
+    only sign(later - earlier), so it detects "keeps drifting down"
+    without assuming linearity or any noise distribution.
+    """
+    n = len(values)
+    if n < 2:
+        return 0, 0.0
+    s = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            diff = values[j] - values[i]
+            s += (diff > 0) - (diff < 0)
+    counts: Dict[float, int] = {}
+    for v in values:
+        counts[v] = counts.get(v, 0) + 1
+    var = (n * (n - 1) * (2 * n + 5)
+           - sum(t * (t - 1) * (2 * t + 5) for t in counts.values())) / 18.0
+    if var <= 0:
+        return s, 0.0
+    if s > 0:
+        z = (s - 1) / var ** 0.5
+    elif s < 0:
+        z = (s + 1) / var ** 0.5
+    else:
+        z = 0.0
+    return s, z
+
+
+@dataclass(frozen=True)
+class TrendAlert:
+    """One metric with a significant trend in the bad direction."""
+
+    metric: str  #: "<bench>.<metric>"
+    direction: str  #: which way is *better* for this metric
+    slope_per_run: float  #: fitted Theil-Sen slope (units per run)
+    slope_frac_per_run: float  #: slope relative to the series median
+    z: float  #: Mann-Kendall z statistic (sign = trend direction)
+    s: int  #: Mann-Kendall S statistic
+    runs: int
+
+    def describe(self) -> str:
+        way = "falling" if self.slope_per_run < 0 else "rising"
+        return (f"{self.metric}: {way} "
+                f"{abs(self.slope_frac_per_run) * 100:.2f}%/run over "
+                f"{self.runs} runs (Theil-Sen {self.slope_per_run:+.6g}, "
+                f"Mann-Kendall z={self.z:+.2f}) — '{self.direction}' is "
+                f"better")
+
+
+def trend_check(history: Mapping[str, Any],
+                directions: Optional[Mapping[str, str]] = None,
+                z_threshold: float = TREND_Z_THRESHOLD,
+                slope_floor: float = TREND_SLOPE_FLOOR,
+                min_runs: int = MIN_TREND_RUNS) -> List[TrendAlert]:
+    """Significant bad-direction trends across the history series.
+
+    A metric trips only when all three hold: the Mann-Kendall trend is
+    significant (``|z| >= z_threshold``), it points the *bad* way for
+    the metric's direction, and the Theil-Sen slope exceeds
+    ``slope_floor`` of the series median per run.  Metrics with no
+    recorded direction (no longer gated) and series shorter than
+    ``min_runs`` are skipped.
+    """
+    if directions is None:
+        directions = metric_directions()
+    alerts: List[TrendAlert] = []
+    for name, series in sorted(metric_trajectories(history).items()):
+        direction = directions.get(name)
+        if direction is None or len(series) < min_runs:
+            continue
+        s, z = mann_kendall(series)
+        if abs(z) < z_threshold:
+            continue
+        bad_trend = z < 0 if direction == "higher" else z > 0
+        if not bad_trend:
+            continue
+        slope = theil_sen_slope(series)
+        median = statistics.median(series)
+        slope_frac = slope / abs(median) if median else 0.0
+        if abs(slope_frac) < slope_floor:
+            continue
+        alerts.append(TrendAlert(
+            metric=name, direction=direction, slope_per_run=slope,
+            slope_frac_per_run=slope_frac, z=z, s=s, runs=len(series)))
+    return alerts
+
+
+def trend_table(history: Mapping[str, Any],
+                directions: Optional[Mapping[str, str]] = None) -> List[str]:
+    """Human-readable Theil-Sen slope rows for every history series."""
+    if directions is None:
+        directions = metric_directions()
+    rows: List[str] = []
+    for name, series in sorted(metric_trajectories(history).items()):
+        slope = theil_sen_slope(series)
+        median = statistics.median(series)
+        slope_frac = slope / abs(median) if median else 0.0
+        _, z = mann_kendall(series)
+        direction = directions.get(name, "?")
+        rows.append(f"  {name:<45} {len(series):>3} runs  "
+                    f"slope {slope:+12.6g}/run "
+                    f"({slope_frac * 100:+7.2f}%/run)  z={z:+6.2f}  "
+                    f"[{direction} is better]")
+    return rows
+
+
 # -- the gate ----------------------------------------------------------
 
 
@@ -287,9 +467,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--no-update", action="store_true",
                         help="check only; do not append a clean run "
                              "to the history")
+    parser.add_argument("--trend-table", action="store_true",
+                        help="print the Theil-Sen slope table for every "
+                             "history series and exit (no gating)")
     args = parser.parse_args(argv)
     history_path = (Path(args.history) if args.history
                     else Path(args.root) / DEFAULT_HISTORY_NAME)
+    if args.trend_table:
+        history = load_history(history_path)
+        rows = trend_table(history)
+        if not rows:
+            print(f"benchguard: no history at {history_path}")
+            return 0
+        print(f"benchguard trend table ({history_path}):")
+        for row in rows:
+            print(row)
+        return 0
     metrics = current_metrics(args.root)
     if not metrics:
         print(f"benchguard: no BENCH_*.json under {args.root}; "
@@ -305,11 +498,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"  {name:<45} {value:>12.6g}  "
               f"({'lower' if direction == 'lower' else 'higher'} is "
               f"better, {gated})")
-    if regressions:
-        print(f"benchguard: {len(regressions)} regression(s):",
-              file=sys.stderr)
-        for regression in regressions:
-            print(f"  REGRESSION {regression.describe()}", file=sys.stderr)
+    # Trend pass over history *plus* the current run, so the freshest
+    # point participates; a tripped trend fails like a median breach.
+    with_current = {
+        "schema_version": history.get("schema_version",
+                                      HISTORY_SCHEMA_VERSION),
+        "entries": list(history.get("entries", [])),
+    }
+    append_history(with_current, metrics)
+    trends = trend_check(with_current)
+    if regressions or trends:
+        if regressions:
+            print(f"benchguard: {len(regressions)} regression(s):",
+                  file=sys.stderr)
+            for regression in regressions:
+                print(f"  REGRESSION {regression.describe()}",
+                      file=sys.stderr)
+        if trends:
+            print(f"benchguard: {len(trends)} trending regression(s):",
+                  file=sys.stderr)
+            for trend in trends:
+                print(f"  TREND {trend.describe()}", file=sys.stderr)
         print("history left untouched; investigate before re-baselining.",
               file=sys.stderr)
         return 1

@@ -20,10 +20,20 @@ The model's four sections:
 4. **bench trajectory** — the ``BENCH_*.json`` metrics plus their
    :mod:`repro.obs.benchguard` history, sparklined.
 
+Two cluster-scale panels join them when their sources exist:
+
+* **federation** — per-node scrape state (version, staleness, up/down)
+  and cluster-wide merged quantiles from a live
+  :class:`~repro.obs.fed.Federation`;
+* **time series** — per-series point counts and sparklines from a
+  :class:`~repro.obs.tsdb.TimeSeriesStore` (live, or re-opened from a
+  persisted directory via ``--tsdb``).
+
 CLI::
 
     python -m repro.obs.dash --snapshot metrics.json \\
-        [--journal run.jsonl] [--bench-root .] [--out dash.html]
+        [--journal run.jsonl] [--bench-root .] [--tsdb DIR] \\
+        [--out dash.html]
 
 renders a dashboard from files on disk; ``python -m repro.experiments
 <name> --dash PATH`` writes one from the live run.
@@ -57,6 +67,9 @@ DEFAULT_TAIL_ROWS = 40
 #: Unicode trend glyphs for the bench trajectory (oldest -> newest).
 _SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
 
+#: Trailing time-series points sparklined per series on the dashboard.
+_TSDB_SPARK_POINTS = 40
+
 
 def _now_iso() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
@@ -88,6 +101,77 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def _federation_model(federation: Any,
+                      elapsed_s: Optional[float]) -> Dict[str, Any]:
+    """JSON-serializable cluster panel from a live Federation (a
+    pre-built mapping passes through untouched)."""
+    if isinstance(federation, Mapping):
+        return dict(federation)
+    scraper = federation.scraper
+    nodes = []
+    for endpoint, _source in scraper.targets:
+        have = scraper.latest.get(endpoint)
+        doc, arrival = have if have is not None else (None, None)
+        nodes.append({
+            "endpoint": endpoint,
+            "scraped": have is not None,
+            "version": scraper._versions.get(endpoint, 0),
+            "arrival_s": arrival,
+            "state": (doc.get("fed", {}).get("state", "?")
+                      if doc is not None else "never"),
+        })
+    histograms = []
+    if federation.merged is not None:
+        doc = metrics_snapshot(federation.merged)
+        histograms = [row for row in doc["metrics"]["histograms"]
+                      if row.get("count")]
+        for row in histograms:  # sketches are for merging, not reading
+            row.pop("sketch", None)
+    return {
+        "targets": len(scraper.targets),
+        "scrapes": scraper.scrapes,
+        "misses": scraper.misses,
+        "merges": federation.merges,
+        "utilization": (scraper.scrape_utilization(elapsed_s)
+                        if elapsed_s else None),
+        "nodes": nodes,
+        "histograms": histograms,
+    }
+
+
+def _tsdb_model(store: Any) -> Dict[str, Any]:
+    """JSON-serializable time-series panel (mapping passes through)."""
+    if isinstance(store, Mapping):
+        return dict(store)
+
+    def _scalar(point: Any) -> Optional[float]:
+        value = point.value
+        if hasattr(value, "percentile"):  # sketch point: sparkline p99
+            return value.percentile(99)
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return None
+
+    series = []
+    for name in store.series_names():
+        points = store.range(name)
+        values = [v for v in (_scalar(p) for p in points[-_TSDB_SPARK_POINTS:])
+                  if v is not None]
+        series.append({
+            "name": name,
+            "kind": points[-1].kind if points else "-",
+            "points": len(points),
+            "downsampled": sum(1 for p in points if p.span > 1
+                               or p.kind == "rate"),
+            "latest": values[-1] if values else None,
+            "values": values,
+        })
+    return {"retention_points": store.retention_points,
+            "downsample_ratio": store.downsample_ratio,
+            "series": series}
+
+
 def build_dashboard(registry: Optional[MetricsRegistry] = None,
                     tracer: Optional[SpanTracer] = None,
                     snapshot: Optional[Mapping] = None,
@@ -99,6 +183,9 @@ def build_dashboard(registry: Optional[MetricsRegistry] = None,
                     checks: Optional[Mapping[str, bool]] = None,
                     bench_root: Union[str, os.PathLike, None] = None,
                     flight: Any = None,
+                    federation: Any = None,
+                    federation_elapsed_s: Optional[float] = None,
+                    tsdb: Any = None,
                     tail_rows: int = DEFAULT_TAIL_ROWS) -> Dict[str, Any]:
     """Assemble the dashboard model from whichever sources exist.
 
@@ -111,6 +198,11 @@ def build_dashboard(registry: Optional[MetricsRegistry] = None,
     :class:`~repro.obs.attrib.FlightRecorder`, its ``snapshot()``
     dict, or a plain list of trace dicts (e.g. a flight-dump JSONL
     replayed from disk) — rendered as slow-trace waterfalls.
+    ``federation`` is a live :class:`~repro.obs.fed.Federation` (pass
+    ``federation_elapsed_s`` — virtual seconds the scrape traffic had
+    to spread over — to report the overhead fraction) and ``tsdb`` a
+    live or re-opened :class:`~repro.obs.tsdb.TimeSeriesStore`; both
+    also accept already-built model dicts.
     """
     if snapshot is None and registry is not None:
         snapshot = metrics_snapshot(registry, tracer)
@@ -169,6 +261,9 @@ def build_dashboard(registry: Optional[MetricsRegistry] = None,
         "checks": dict(checks) if checks else {},
         "bench": bench,
         "flight": flight_model,
+        "federation": (_federation_model(federation, federation_elapsed_s)
+                       if federation is not None else None),
+        "tsdb": _tsdb_model(tsdb) if tsdb is not None else None,
     }
 
 
@@ -230,6 +325,47 @@ def render_text(model: Mapping[str, Any]) -> str:
         sections.append(format_table(
             ["bench metric", "current", "better", "trend", "runs"],
             rows, title="bench trajectory (BENCH_*.json + history)"))
+
+    fed = model.get("federation") or {}
+    if fed:
+        rows = [[n["endpoint"], n["state"],
+                 str(n["version"]) if n["version"] else "-",
+                 _fmt(n["arrival_s"]),
+                 "ok" if n["scraped"] else "NEVER SCRAPED"]
+                for n in fed.get("nodes") or []]
+        util = fed.get("utilization")
+        sections.append(format_table(
+            ["node", "state", "version", "last scrape t(s)", "scraped"],
+            rows,
+            title=(f"metrics federation — {fed.get('targets', 0)} targets, "
+                   f"{fed.get('scrapes', 0)} scrapes, "
+                   f"{fed.get('misses', 0)} misses, "
+                   f"{fed.get('merges', 0)} merges"
+                   + (f", scrape overhead {util:.2%} of worst link"
+                      if util is not None else ""))))
+        hist_rows = [[h["name"],
+                      ", ".join(f"{k}={v}" for k, v
+                                in sorted(h["labels"].items())) or "-",
+                      str(h["count"]), _fmt(h["p50"]), _fmt(h["p99"]),
+                      _fmt(h["max"])]
+                     for h in fed.get("histograms") or []]
+        if hist_rows:
+            sections.append(format_table(
+                ["merged series", "labels", "count", "p50", "p99", "max"],
+                hist_rows, title="cluster-wide merged quantiles"))
+
+    tsdb = model.get("tsdb") or {}
+    if tsdb:
+        rows = [[s["name"], s["kind"], str(s["points"]),
+                 str(s["downsampled"]), _fmt(s.get("latest")),
+                 _spark(s.get("values") or []) or "-"]
+                for s in tsdb.get("series") or []]
+        sections.append(format_table(
+            ["series", "kind", "points", "aged", "latest", "spark"],
+            rows,
+            title=(f"time series — retention "
+                   f"{tsdb.get('retention_points', '-')} raw points, "
+                   f"{tsdb.get('downsample_ratio', '-')}:1 downsample")))
 
     flight = model.get("flight") or {}
     slowest = flight.get("slowest") or []
@@ -441,6 +577,55 @@ def render_html(model: Mapping[str, Any]) -> str:
         parts += _html_table(
             ["bench metric", "current", "better", "trend", "runs"], rows)
 
+    fed = model.get("federation") or {}
+    if fed:
+        util = fed.get("utilization")
+        parts.append("<h2>Metrics federation</h2>")
+        parts.append(
+            f"<p class=\"muted\">{_h(fed.get('targets', 0))} targets, "
+            f"{_h(fed.get('scrapes', 0))} scrapes, "
+            f"{_h(fed.get('misses', 0))} misses, "
+            f"{_h(fed.get('merges', 0))} merges"
+            + (f", scrape overhead {util:.2%} of the busiest link"
+               if util is not None else "") + "</p>")
+        parts += _html_table(
+            ["node", "state", "version", "last scrape t (s)", "scraped"],
+            [[_h(n["endpoint"]), _h(n["state"]),
+              _h(n["version"] or "-"), _h(n["arrival_s"]),
+              _verdict(bool(n["scraped"]), bad="NEVER SCRAPED")]
+             for n in fed.get("nodes") or []])
+        hists = fed.get("histograms") or []
+        if hists:
+            parts.append("<h3>cluster-wide merged quantiles</h3>")
+            parts += _html_table(
+                ["merged series", "labels", "count", "p50", "p95", "p99",
+                 "max"],
+                [[_h(h["name"]),
+                  _h(", ".join(f"{k}={v}" for k, v
+                               in sorted(h["labels"].items())) or "-"),
+                  _h(h["count"]), _h(h["p50"]), _h(h["p95"]), _h(h["p99"]),
+                  _h(h["max"])] for h in hists])
+
+    tsdb = model.get("tsdb") or {}
+    if tsdb:
+        parts.append("<h2>Time series</h2>")
+        parts.append(
+            f"<p class=\"muted\">retention "
+            f"{_h(tsdb.get('retention_points'))} raw points per series, "
+            f"{_h(tsdb.get('downsample_ratio'))}:1 downsample on "
+            "age-out</p>")
+        rows = []
+        for s in tsdb.get("series") or []:
+            spark = _spark(s.get("values") or [])
+            rows.append([
+                _h(s["name"]), _h(s["kind"]), _h(s["points"]),
+                _h(s["downsampled"]), _h(s.get("latest")),
+                (f'<span class="spark">{html.escape(spark)}</span>'
+                 if spark else "-"),
+            ])
+        parts += _html_table(
+            ["series", "kind", "points", "aged", "latest", "spark"], rows)
+
     flight = model.get("flight") or {}
     slowest = flight.get("slowest") or []
     if slowest:
@@ -519,6 +704,9 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--flight", default=None, metavar="PATH",
                         help="flight-recorder dump JSONL (one trace per "
                              "line) rendered as slow-trace waterfalls")
+    parser.add_argument("--tsdb", default=None, metavar="DIR",
+                        help="persisted repro.obs.tsdb directory, "
+                             "rendered as per-series sparklines")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write self-contained HTML here "
                              "(default: terminal rendering to stdout)")
@@ -535,8 +723,14 @@ def main(argv: Optional[List[str]] = None) -> None:
     if args.flight:
         flight = [json.loads(line) for line
                   in Path(args.flight).read_text().splitlines() if line]
+    tsdb = None
+    if args.tsdb:
+        from repro.obs.tsdb import TimeSeriesStore
+
+        tsdb = TimeSeriesStore.open(args.tsdb)
     model = build_dashboard(snapshot=snapshot, journal_events=events,
-                            bench_root=args.bench_root, flight=flight)
+                            bench_root=args.bench_root, flight=flight,
+                            tsdb=tsdb)
     if args.out:
         print(f"dashboard written to {write_dashboard(args.out, model)}")
     else:

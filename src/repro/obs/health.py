@@ -228,6 +228,7 @@ class SloEngine:
                  journal: Optional[Journal] = None,
                  fast_threshold: float = FAST_BURN_THRESHOLD,
                  slow_threshold: float = SLOW_BURN_THRESHOLD,
+                 min_events: int = 0,
                  flight: Optional[Any] = None):
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
@@ -235,6 +236,13 @@ class SloEngine:
         self.specs = tuple(specs)
         self.fast_threshold = fast_threshold
         self.slow_threshold = slow_threshold
+        #: Minimum observations a window must hold before its burn rate
+        #: can alert — the standard low-traffic guard (a 2-of-3 bad
+        #: sample is not a page).  This is also what makes federation
+        #: load-bearing: with a fleet-wide ``min_events`` volume gate,
+        #: each node's local view may be under the significance floor
+        #: while the merged cluster-wide window clears it and pages.
+        self.min_events = min_events
         self._registry = registry
         self._journal = journal
         #: Optional :class:`~repro.obs.attrib.FlightRecorder`.  When a
@@ -258,6 +266,12 @@ class SloEngine:
     @property
     def journal(self) -> Journal:
         return self._journal if self._journal is not None else get_journal()
+
+    def rebind(self, registry: MetricsRegistry) -> "SloEngine":
+        """Point the engine at another registry (e.g. the federated
+        cluster-wide merge) without losing alert/accumulator state."""
+        self._registry = registry
+        return self
 
     # -- evaluation ----------------------------------------------------
 
@@ -316,8 +330,10 @@ class SloEngine:
                 fast_bad=fast_bad, fast_total=fast_total,
                 slow_bad=slow_bad, slow_total=slow_total,
                 fast_burn=fast_burn, slow_burn=slow_burn,
-                fast_alert=fast_burn >= self.fast_threshold,
-                slow_alert=slow_burn >= self.slow_threshold,
+                fast_alert=(fast_burn >= self.fast_threshold
+                            and fast_total >= self.min_events),
+                slow_alert=(slow_burn >= self.slow_threshold
+                            and slow_total >= self.min_events),
             )
             statuses.append(status)
             registry.gauge("health.burn_rate", slo=spec.name,
@@ -580,6 +596,12 @@ class HashQualityDetector:
     @property
     def journal(self) -> Journal:
         return self._journal if self._journal is not None else get_journal()
+
+    def rebind(self, registry: MetricsRegistry) -> "HashQualityDetector":
+        """Point the detector at another registry (the federated
+        cluster-wide merge) without losing trip/streak state."""
+        self._registry = registry
+        return self
 
     def band_for(self, scheme: str) -> DriftBand:
         """The scheme's band (unmonitored for unknown schemes)."""

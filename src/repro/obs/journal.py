@@ -26,8 +26,10 @@ Design points, mirroring the registry's:
   :func:`replay` iterates a file (rotated segment first) back into
   dicts.
 * **bounded rotation** — when the sink file exceeds ``max_bytes`` it
-  rotates to ``<path>.1`` (one backup generation), so a chatty run
-  costs bounded disk, never an unbounded log.
+  rotates through ``<path>.1`` .. ``<path>.N`` (``backups``
+  generations, default 1), so a chatty run costs bounded disk, never
+  an unbounded log; long soaks that must not lose early events raise
+  ``backups`` instead of ``max_bytes``.
 
 Every emit also increments the pre-declared ``journal.events`` counter
 (and ``journal.rotations`` on rotation), so snapshots record journal
@@ -38,6 +40,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import threading
 import time
 from collections import deque
@@ -48,6 +51,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 from repro.obs.registry import get_registry
 
 __all__ = [
+    "DEFAULT_BACKUPS",
     "EVENT_SCHEMA_VERSION",
     "KNOWN_EVENT_KINDS",
     "Journal",
@@ -94,6 +98,8 @@ KNOWN_EVENT_KINDS = frozenset({
     "health.drift_tripped",
     "obs.exemplar_drop",
     "obs.flight_dump",
+    "obs.scrape_miss",
+    "obs.tsdb_evict",
     "reshard.commit",
     "reshard.migrate_chunk",
     "reshard.start",
@@ -113,6 +119,9 @@ DEFAULT_MAX_BYTES = 4 << 20
 
 #: Default in-memory tail length (events kept for `tail()` / the dash).
 DEFAULT_TAIL_EVENTS = 2048
+
+#: Default rotated-backup generations kept beside the live sink.
+DEFAULT_BACKUPS = 1
 
 
 @dataclass(frozen=True)
@@ -171,22 +180,28 @@ class Journal:
 
     Args:
         path: JSONL sink file; None keeps events in memory only (the
-            bounded tail).  The file is appended to, rotated to
-            ``<path>.1`` past ``max_bytes``.
+            bounded tail).  The file is appended to, rotated through
+            ``<path>.1`` .. ``<path>.N`` past ``max_bytes``.
         max_bytes: rotation threshold for the sink file.
         tail_events: how many recent events the in-memory tail keeps.
+        backups: rotated generations kept (``.1`` newest .. ``.N``
+            oldest); the oldest is dropped at each rotation past N.
         enabled: a disabled journal's :meth:`emit` is a no-op.
     """
 
     def __init__(self, path: Union[str, os.PathLike, None] = None,
                  max_bytes: int = DEFAULT_MAX_BYTES,
                  tail_events: int = DEFAULT_TAIL_EVENTS,
+                 backups: int = DEFAULT_BACKUPS,
                  enabled: bool = True):
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
+        if backups < 1:
+            raise ValueError("backups must be >= 1")
         self.enabled = enabled
         self.path: Optional[Path] = Path(path) if path is not None else None
         self.max_bytes = max_bytes
+        self.backups = backups
         self.rotations = 0
         self._seq = 0
         self._epoch = time.monotonic()
@@ -265,10 +280,15 @@ class Journal:
         self._bytes += len(line)
 
     def _rotate(self) -> None:
-        """Move the full sink to ``<path>.1`` and start a fresh file."""
-        backup = self.path.with_name(self.path.name + ".1")
+        """Shift backups ``.N-1 -> .N`` (dropping the old ``.N``), move
+        the full sink to ``.1``, and start a fresh file."""
+        for i in range(self.backups, 1, -1):
+            older = self.path.with_name(f"{self.path.name}.{i}")
+            newer = self.path.with_name(f"{self.path.name}.{i - 1}")
+            if newer.exists():
+                newer.replace(older)
         try:
-            self.path.replace(backup)
+            self.path.replace(self.path.with_name(self.path.name + ".1"))
         except FileNotFoundError:
             pass
         self._bytes = 0
@@ -310,15 +330,24 @@ def replay(path: Union[str, os.PathLike],
            strict: bool = True) -> Iterator[Dict[str, Any]]:
     """Iterate a journal file's events as dicts, oldest first.
 
-    The rotated segment (``<path>.1``) is read before the live file, so
-    the stream covers the whole retained history in ``seq`` order.
-    With ``strict`` (the default) a malformed line raises ValueError
-    naming its file and line number; otherwise malformed lines are
-    skipped — the tolerant mode for inspecting a journal that was cut
-    off mid-write.
+    Rotated segments (``<path>.N`` oldest first, then ``<path>.1``) are
+    read before the live file, so the stream covers the whole retained
+    history in ``seq`` order however many backup generations the
+    journal kept.  With ``strict`` (the default) a malformed line
+    raises ValueError naming its file and line number; otherwise
+    malformed lines are skipped — the tolerant mode for inspecting a
+    journal that was cut off mid-write.
     """
     path = Path(path)
-    for segment in (path.with_name(path.name + ".1"), path):
+    pattern = re.compile(re.escape(path.name) + r"\.(\d+)$")
+    backups = []
+    if path.parent.exists():
+        for candidate in path.parent.iterdir():
+            match = pattern.match(candidate.name)
+            if match:
+                backups.append((int(match.group(1)), candidate))
+    segments = [p for _, p in sorted(backups, reverse=True)] + [path]
+    for segment in segments:
         if not segment.exists():
             continue
         with open(segment) as stream:
@@ -357,14 +386,17 @@ def set_journal(journal: Journal) -> Journal:
 
 
 def enable_journal(path: Union[str, os.PathLike, None] = None,
-                   max_bytes: int = DEFAULT_MAX_BYTES) -> Journal:
+                   max_bytes: int = DEFAULT_MAX_BYTES,
+                   backups: int = DEFAULT_BACKUPS) -> Journal:
     """Install and return an enabled process-wide journal.
 
-    With ``path`` events also append to that JSONL file (rotating past
-    ``max_bytes``); without one the journal is memory-only (the bounded
-    tail), which is what the ``health`` experiment uses under pytest.
+    With ``path`` events also append to that JSONL file (rotating
+    through ``backups`` generations past ``max_bytes``); without one
+    the journal is memory-only (the bounded tail), which is what the
+    ``health`` experiment uses under pytest.
     """
-    journal = Journal(path=path, max_bytes=max_bytes, enabled=True)
+    journal = Journal(path=path, max_bytes=max_bytes, backups=backups,
+                      enabled=True)
     set_journal(journal)
     return journal
 

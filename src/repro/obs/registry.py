@@ -38,6 +38,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL",
     "NullInstrument",
+    "SketchHistogram",
     "get_registry",
     "set_registry",
 ]
@@ -225,6 +226,47 @@ class Histogram:
                 f"count={self.count})")
 
 
+class SketchHistogram(Histogram):
+    """A histogram that additionally feeds a mergeable quantile sketch.
+
+    Requested via ``registry.histogram(name, sketch=True)``.  The
+    windowed behaviour (exact recent percentiles, exemplars, SLO
+    threshold counting over ``window_values()``) is inherited
+    unchanged; on top, every observation lands in a
+    :class:`~repro.obs.sketch.QuantileSketch` covering the series'
+    *full lifetime*, which the federation layer extracts from
+    snapshots and merges across nodes into true cluster-wide
+    quantiles.  ``kind`` stays ``"histogram"`` so every existing
+    snapshot/sink/health consumer sees it as one.
+    """
+
+    __slots__ = ("sketch",)
+
+    def __init__(self, name: str, labels: Dict[str, Any],
+                 window: int = DEFAULT_HISTOGRAM_WINDOW,
+                 relative_accuracy: Optional[float] = None):
+        super().__init__(name, labels, window=window)
+        from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
+        if relative_accuracy is None:
+            relative_accuracy = DEFAULT_RELATIVE_ACCURACY
+        self.sketch = QuantileSketch(relative_accuracy)
+
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        super().observe(value, exemplar=exemplar)
+        self.sketch.add(value)
+
+    def as_dict(self) -> Dict[str, Any]:
+        # Additive within snapshot schema v1: readers that don't know
+        # about sketches ignore the extra field.
+        payload = super().as_dict()
+        payload["sketch"] = self.sketch.as_dict()
+        return payload
+
+    def __repr__(self) -> str:
+        return (f"SketchHistogram({self.name!r}, {self.labels}, "
+                f"count={self.count})")
+
+
 class NullInstrument:
     """The disabled fast path: every mutator is a no-op.
 
@@ -316,9 +358,12 @@ class MetricsRegistry:
                     series = cls(name, labels, **kwargs)
                     self._series[key] = series
         if not isinstance(series, cls):
+            have = (type(series).__name__ if series.kind == cls.kind
+                    else series.kind)
+            want = cls.__name__ if series.kind == cls.kind else cls.kind
             raise TypeError(
                 f"metric {name!r} with labels {labels} already registered "
-                f"as a {series.kind}, not a {cls.kind}"
+                f"as a {have}, not a {want}"
             )
         return series
 
@@ -333,10 +378,35 @@ class MetricsRegistry:
         return self._get_or_create(Gauge, name, labels)
 
     def histogram(self, name: str, window: int = DEFAULT_HISTOGRAM_WINDOW,
-                  **labels: Any) -> Histogram:
+                  sketch: bool = False, **labels: Any) -> Histogram:
+        """Get-or-create a histogram; ``sketch=True`` requests the
+        mergeable :class:`SketchHistogram` variant.  Asking for a plain
+        histogram when the series was declared as a sketch returns the
+        sketch (it is a histogram); the reverse raises, because a plain
+        histogram cannot honour the mergeability the caller expects —
+        declare the series as kind ``"sketch"`` instead.
+        """
         if not self.enabled:
             return NULL
+        if sketch:
+            return self._get_or_create(SketchHistogram, name, labels,
+                                       window=window)
         return self._get_or_create(Histogram, name, labels, window=window)
+
+    def adopt(self, instrument: Any) -> Any:
+        """Install a fully-built instrument under its own identity.
+
+        The federation aggregator builds merged instruments off-line
+        (summed counters, merged sketches) and adopts them into a
+        fresh registry so every existing read-side consumer —
+        ``matching()``, snapshots, the SLO engine — works on the
+        merged view unchanged.  Replaces any existing series with the
+        same ``(name, labels)`` identity.
+        """
+        key = _series_key(instrument.name, instrument.labels)
+        with self._lock:
+            self._series[key] = instrument
+        return instrument
 
     # -- introspection -------------------------------------------------
 

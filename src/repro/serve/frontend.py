@@ -646,6 +646,21 @@ class Frontend:
                                   scheme=self.store.scheme)
         return response
 
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Scrape endpoint duck-typing the cluster node's: a versioned
+        metrics snapshot of this frontend's registry, so a federation
+        :class:`~repro.obs.fed.Scraper` can pull a serving tier and a
+        store tier through one interface."""
+        from repro.obs.sinks import metrics_snapshot
+        self._snapshot_version = getattr(self, "_snapshot_version", 0) + 1
+        doc = metrics_snapshot(self._registry)
+        doc["fed"] = {
+            "node": f"frontend:{self.store.scheme}",
+            "version": self._snapshot_version,
+            "state": "up" if self.started else "down",
+        }
+        return doc
+
     def stats(self) -> Dict[str, Any]:
         """Serving counters + batching/admission/fault summaries."""
         batches = self._store_batcher.batches + self._sim_batcher.batches

@@ -287,6 +287,67 @@ class TestNodeQuarantineRule:
         assert controller.step() == []
 
 
+class TestFederatedObserve:
+    """A controller given a Federation runs its health layer on the
+    cluster-wide merge, refreshed at every observe."""
+
+    def _controller(self):
+        from repro.cluster import Cluster
+        from repro.obs import declare_core_metrics
+        from repro.obs.fed import Federation
+        from repro.obs.health import SloEngine, SloSpec
+        from repro.obs.registry import MetricsRegistry
+
+        cluster = Cluster(n_nodes=4, node_scheme="pmod",
+                          shard_scheme="pmod", node_registries=True)
+        for i in range(600):
+            cluster.put(f"k{i}", i)
+        local = MetricsRegistry(enabled=True)
+        declare_core_metrics(local)
+        fed = Federation.for_cluster(cluster, registry=local)
+        engine = SloEngine(
+            [SloSpec.latency("p99", "cluster.node.request_latency_s",
+                             threshold_s=10.0, objective=0.99)],
+            registry=local)  # starts bound to the un-merged registry
+        store = ShardedStore(routing=RoutingTable.create("pmod", 61),
+                             shard_capacity=256, assoc=16)
+        controller = RemediationController(
+            store, engine, journal=Journal(), cluster=cluster,
+            federation=fed)
+        return controller, engine, fed, local
+
+    def test_observe_collects_then_rebinds_the_engine(self):
+        controller, engine, fed, local = self._controller()
+        assert controller.step() == []  # healthy cluster: no actions
+        assert local.counter("fed.merges").value == 1
+        assert engine.registry is fed.merged  # decisions see the merge
+        assert engine.evaluations == 1
+        # The merged registry actually carries the pooled per-node
+        # sketches the spec gates on — not evaluating a blank.
+        series = engine.registry.matching("cluster.node.request_latency_s")
+        assert series and sum(s.count for s in series) > 0
+
+    def test_every_step_refreshes_the_merge(self):
+        controller, engine, fed, local = self._controller()
+        controller.step()
+        first_merge = engine.registry
+        controller.step()
+        assert local.counter("fed.merges").value == 2
+        assert engine.registry is fed.merged
+        assert engine.registry is not first_merge  # fresh merge
+        assert engine.evaluations == 2  # state survived the rebind
+
+    def test_detector_is_rebound_too(self):
+        from repro.obs.health import HashQualityDetector, strict_bands
+
+        controller, engine, fed, _ = self._controller()
+        detector = HashQualityDetector(strict_bands(8),
+                                       registry=engine.registry)
+        controller.detector = detector
+        controller.observe()
+        assert detector.registry is fed.merged
+
+
 class TestConfigValidation:
     def test_bad_budget_rejected(self):
         with pytest.raises(ValueError, match="migration_budget"):

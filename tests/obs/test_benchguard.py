@@ -10,6 +10,8 @@ from repro.obs.benchguard import (
     HISTORY_SCHEMA_VERSION,
     MAX_HISTORY_ENTRIES,
     MIN_HISTORY_RUNS,
+    MIN_TREND_RUNS,
+    TREND_Z_THRESHOLD,
     append_history,
     check,
     current_metrics,
@@ -17,7 +19,11 @@ from repro.obs.benchguard import (
     load_bench_files,
     load_history,
     main,
+    mann_kendall,
     metric_trajectories,
+    theil_sen_slope,
+    trend_check,
+    trend_table,
     write_history,
 )
 
@@ -181,3 +187,130 @@ class TestMain:
         self.seed(tmp_path, disabled_s=0.6)  # +20%: inside default floor
         assert main(["--root", str(tmp_path), "--no-update",
                      "--noise-floor", "0.1"]) == 1
+
+
+def drifting(start, frac_per_run, runs):
+    """A series compounding ``frac_per_run`` each run (+2% = 0.02)."""
+    return [start * (1.0 + frac_per_run) ** i for i in range(runs)]
+
+
+class TestTrendEstimators:
+    def test_theil_sen_recovers_a_clean_slope(self):
+        assert theil_sen_slope([1.0, 3.0, 5.0, 7.0]) == pytest.approx(2.0)
+
+    def test_theil_sen_shrugs_off_one_outlier(self):
+        # One wild run perturbs a few pairwise slopes, not their median.
+        assert theil_sen_slope([1.0, 2.0, 3.0, 4.0, 50.0]) == (
+            pytest.approx(1.0))
+
+    def test_theil_sen_short_series_is_flat(self):
+        assert theil_sen_slope([]) == 0.0
+        assert theil_sen_slope([5.0]) == 0.0
+
+    def test_mann_kendall_monotonic_is_significant(self):
+        s, z = mann_kendall([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s == 10  # every pair concordant
+        assert z >= TREND_Z_THRESHOLD
+
+    def test_mann_kendall_sign_tracks_direction(self):
+        _, up = mann_kendall(drifting(1.0, 0.02, 6))
+        _, down = mann_kendall(drifting(1.0, -0.02, 6))
+        assert up > 0 > down
+
+    def test_mann_kendall_constant_series_is_zero(self):
+        s, z = mann_kendall([2.0] * 8)
+        assert (s, z) == (0, 0.0)
+
+
+class TestTrendCheck:
+    """The acceptance fixture: a 5-PR monotonic 2%-per-step regression
+    must trip the trend pass; flat and trendless series must not."""
+
+    def test_rising_lower_is_better_metric_trips(self):
+        history = history_with("fed.merge_ns_per_series",
+                               drifting(7000.0, 0.02, MIN_TREND_RUNS))
+        (alert,) = trend_check(history,
+                               {"fed.merge_ns_per_series": "lower"})
+        assert alert.metric == "fed.merge_ns_per_series"
+        assert alert.slope_per_run > 0
+        assert alert.slope_frac_per_run >= 0.01
+        assert abs(alert.z) >= TREND_Z_THRESHOLD
+        assert "rising" in alert.describe()
+
+    def test_falling_higher_is_better_metric_trips(self):
+        history = history_with("serve.rps",
+                               drifting(1000.0, -0.02, MIN_TREND_RUNS))
+        (alert,) = trend_check(history, {"serve.rps": "higher"})
+        assert alert.slope_per_run < 0
+        assert "falling" in alert.describe()
+
+    def test_good_direction_drift_never_trips(self):
+        history = history_with("serve.rps",
+                               drifting(1000.0, 0.02, 8))  # improving
+        assert trend_check(history, {"serve.rps": "higher"}) == []
+
+    def test_flat_series_stays_green(self):
+        history = history_with("m", [3.0] * 10)
+        assert trend_check(history, {"m": "lower"}) == []
+
+    def test_trendless_noise_stays_green(self):
+        # Alternating jitter around a level: |S| stays small.
+        series = [1.0 + 0.03 * (-1) ** i for i in range(10)]
+        history = history_with("m", series)
+        assert trend_check(history, {"m": "lower"}) == []
+
+    def test_microscopic_drift_is_below_the_slope_floor(self):
+        # Perfectly monotonic (z significant) but 0.1% per run: a
+        # table row, not a page.
+        history = history_with("m", drifting(1.0, 0.001, 10))
+        assert trend_check(history, {"m": "lower"}) == []
+        assert trend_check(history, {"m": "lower"}, slope_floor=0.0005)
+
+    def test_short_series_is_not_judged(self):
+        history = history_with(
+            "m", drifting(1.0, 0.05, MIN_TREND_RUNS - 1))
+        assert trend_check(history, {"m": "lower"}) == []
+
+    def test_undirected_metrics_are_skipped(self):
+        history = history_with("mystery.metric", drifting(1.0, 0.05, 8))
+        assert trend_check(history, directions={}) == []
+
+    def test_trend_table_lists_every_series(self):
+        history = {"schema_version": HISTORY_SCHEMA_VERSION, "entries": [
+            {"metrics": {"a": 1.0 + i, "b": 2.0}} for i in range(4)]}
+        rows = trend_table(history, {"a": "lower", "b": "higher"})
+        assert len(rows) == 2
+        assert "a" in rows[0] and "4 runs" in rows[0]
+
+
+class TestTrendGateInMain:
+    def seed_drift(self, tmp_path, frac_per_run, runs=MIN_TREND_RUNS):
+        """History drifting up plus a current run continuing the drift
+        — each step far inside the 25% median noise floor, so only the
+        trend pass can see it."""
+        series = drifting(0.5, frac_per_run, runs + 1)
+        (tmp_path / "BENCH_obs.json").write_text(json.dumps(
+            {"bench": "obs_overhead", "disabled_s": series[-1]}))
+        write_history(tmp_path / DEFAULT_HISTORY_NAME,
+                      history_with("obs_overhead.disabled_s",
+                                   series[:-1]))
+
+    def test_sustained_drift_fails_the_gate(self, tmp_path, capsys):
+        self.seed_drift(tmp_path, 0.02)
+        assert main(["--root", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "TREND" in captured.err
+        assert "history left untouched" in captured.err
+        entries = load_history(tmp_path / DEFAULT_HISTORY_NAME)["entries"]
+        assert len(entries) == MIN_TREND_RUNS  # failing run not recorded
+
+    def test_stable_history_passes_the_gate(self, tmp_path):
+        self.seed_drift(tmp_path, 0.0)
+        assert main(["--root", str(tmp_path)]) == 0
+
+    def test_trend_table_flag_prints_and_skips_gating(self, tmp_path,
+                                                      capsys):
+        self.seed_drift(tmp_path, 0.05)  # would fail the gate
+        assert main(["--root", str(tmp_path), "--trend-table"]) == 0
+        out = capsys.readouterr().out
+        assert "obs_overhead.disabled_s" in out

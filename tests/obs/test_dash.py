@@ -100,6 +100,85 @@ class TestModel:
         assert "<html" in render_html(model)
 
 
+class TestFederationAndTsdbPanels:
+    def _federated(self):
+        from repro.cluster import Cluster
+        from repro.obs import declare_core_metrics
+        from repro.obs.fed import Federation
+
+        cluster = Cluster(n_nodes=4, node_scheme="pmod",
+                          shard_scheme="pmod", node_registries=True)
+        for i in range(400):
+            cluster.put(f"k{i}", i)
+        local = MetricsRegistry(enabled=True)
+        declare_core_metrics(local)
+        fed = Federation.for_cluster(cluster, registry=local)
+        fed.collect(cluster.virtual_now_s)
+        return cluster, fed
+
+    def _tsdb(self):
+        from repro.obs.tsdb import TimeSeriesStore
+
+        store = TimeSeriesStore(retention_points=8, downsample_ratio=4,
+                                registry=MetricsRegistry(enabled=True))
+        for t in range(40):
+            store.append("cluster.ops", float(t), t * 3.0,
+                         kind="counter")
+        return store
+
+    def test_federation_panel_from_a_live_federation(self):
+        cluster, fed = self._federated()
+        model = build_dashboard(
+            federation=fed, federation_elapsed_s=cluster.virtual_now_s)
+        json.dumps(model)  # sketches must not leak into the model
+        panel = model["federation"]
+        assert panel["targets"] == len(cluster.nodes)
+        assert panel["scrapes"] + panel["misses"] == panel["targets"]
+        assert panel["merges"] == 1
+        assert panel["utilization"] is not None
+        scraped = [n for n in panel["nodes"] if n["scraped"]]
+        assert scraped and all(n["state"] == "up" for n in scraped)
+        assert any(row["name"] == "cluster.node.request_latency_s"
+                   for row in panel["histograms"])
+        assert all("sketch" not in row for row in panel["histograms"])
+
+    def test_tsdb_panel_scalarizes_and_bounds_sparklines(self):
+        model = build_dashboard(tsdb=self._tsdb())
+        json.dumps(model)
+        panel = model["tsdb"]
+        assert panel["retention_points"] == 8
+        (series,) = panel["series"]
+        assert series["name"] == "cluster.ops"
+        assert series["downsampled"] > 0  # rate blocks aged in
+        assert len(series["values"]) <= 40
+        assert series["latest"] == series["values"][-1]
+
+    def test_prebuilt_mappings_pass_through(self):
+        model = build_dashboard(federation={"targets": 2},
+                                tsdb={"series": []})
+        assert model["federation"] == {"targets": 2}
+        assert model["tsdb"] == {"series": []}
+
+    def test_panels_render_in_text_and_html(self):
+        cluster, fed = self._federated()
+        model = build_dashboard(
+            federation=fed, federation_elapsed_s=cluster.virtual_now_s,
+            tsdb=self._tsdb())
+        text = render_text(model)
+        assert "metrics federation" in text
+        assert "cluster-wide merged quantiles" in text
+        assert "time series" in text
+        html = render_html(model)
+        assert "Metrics federation" in html
+        assert "Time series" in html
+
+    def test_absent_panels_stay_out_of_the_model(self):
+        model = build_dashboard()
+        assert model["federation"] is None
+        assert model["tsdb"] is None
+        assert "metrics federation" not in render_text(model)
+
+
 class TestRenderText:
     def test_all_sections_present(self, tmp_path):
         text = render_text(seeded_sources(tmp_path))

@@ -201,6 +201,46 @@ class TestSinkAndRotation:
         kinds = [e["kind"] for e in replay(path, strict=False)]
         assert kinds == ["good", "also-good"]
 
+    def test_multi_backup_rotation_keeps_configured_generations(
+            self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = Journal(path=path, max_bytes=300, backups=3)
+        for i in range(200):
+            journal.emit("fill", i=i)
+        assert journal.rotations >= 3
+        for n in (1, 2, 3):
+            assert path.with_name(f"events.jsonl.{n}").exists()
+        assert not path.with_name("events.jsonl.4").exists()
+
+    def test_multi_backup_generations_age_oldest_first(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = Journal(path=path, max_bytes=300, backups=2)
+        for i in range(200):
+            journal.emit("fill", i=i)
+        one = [json.loads(line)["seq"] for line in
+               path.with_name("events.jsonl.1").read_text().splitlines()]
+        two = [json.loads(line)["seq"] for line in
+               path.with_name("events.jsonl.2").read_text().splitlines()]
+        assert max(two) < min(one)  # .2 is the older generation
+
+    def test_replay_walks_every_backup_oldest_first(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = Journal(path=path, max_bytes=300, backups=4)
+        for i in range(120):
+            journal.emit("fill", i=i)
+        seqs = [e["seq"] for e in replay(path)]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 119
+        # More history survives than the single-backup default keeps.
+        single = Journal(path=tmp_path / "single.jsonl", max_bytes=300)
+        for i in range(120):
+            single.emit("fill", i=i)
+        assert len(seqs) > len(list(replay(tmp_path / "single.jsonl")))
+
+    def test_backups_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="backups"):
+            Journal(path=tmp_path / "j.jsonl", backups=0)
+
     def test_rotation_increments_registry_counter(self, tmp_path):
         enable_observability()
         journal = Journal(path=tmp_path / "j.jsonl", max_bytes=200)
